@@ -1,0 +1,54 @@
+"""E1/E2 — table size laws and the YELT materialisation cost.
+
+Paper claims (§II): the YELLT at 10⁴ contracts × 10⁵ events × 10³
+locations × 5×10⁴ trials has (over) 5×10¹⁶ entries; the YELT is ~1000×
+smaller than the YELLT and ~1000× larger than the YLT.  The analytic law
+is asserted; the benchmark times materialising the YELT (the thing
+existing tools *can* hold) against producing only the YLT.
+"""
+
+import pytest
+
+from repro.core.simulation import AggregateAnalysis
+from repro.core.tables import YelltModel
+
+
+def test_paper_scale_size_law():
+    model = YelltModel.paper_scale()
+    assert model.yellt_entries() >= 5e16
+    ratios = model.ratios()
+    assert ratios["yellt_over_yelt"] == pytest.approx(1000.0)
+    assert ratios["yelt_over_ylt"] == pytest.approx(1000.0)
+
+
+def test_materialised_ratio_near_1000(study_2k):
+    res = AggregateAnalysis(study_2k.portfolio, study_2k.yet).run(
+        "vectorized", emit_yelt=True
+    )
+    ratio = res.yelt_rows() / res.portfolio_ylt.n_trials
+    # coverage of the catalogue by the layer's ELTs trims ~7% off the
+    # 1000 events/trial
+    assert 700 <= ratio <= 1100
+
+
+def bench_ylt_only(wl):
+    return AggregateAnalysis(wl.portfolio, wl.yet).run("vectorized")
+
+
+def bench_with_yelt(wl):
+    return AggregateAnalysis(wl.portfolio, wl.yet).run(
+        "vectorized", emit_yelt=True
+    )
+
+
+def test_ylt_only(benchmark, study_2k):
+    """Produce the YLT alone (the paper's recommended operating point)."""
+    result = benchmark(bench_ylt_only, study_2k)
+    assert result.portfolio_ylt.n_trials == 2_000
+
+
+def test_yelt_materialised(benchmark, study_2k):
+    """Also materialise the ~1000x larger YELT (what §II says tools
+    struggle to analyse)."""
+    result = benchmark(bench_with_yelt, study_2k)
+    assert result.yelt_rows() > 0

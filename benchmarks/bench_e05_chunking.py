@@ -1,0 +1,48 @@
+"""E5 — chunking and memory-placement ablation on the simulated device.
+
+Paper claim (§II): "The management of large data in memory employs the
+notion of chunking, which is utilising shared and constant memory as
+much as possible."  Four placement variants (constant/shared on/off) and
+a chunk-size sweep; on the simulated device the wall-clock signal is the
+chunk-size locality effect, while constant/shared placement is verified
+as a capacity-feasibility property (see EXPERIMENTS.md note).
+"""
+
+import pytest
+
+from repro.core.engines import DeviceEngine
+from repro.core.simulation import AggregateAnalysis
+
+
+@pytest.fixture(scope="module")
+def analysis(small_lookup_20k):
+    return AggregateAnalysis(small_lookup_20k.portfolio, small_lookup_20k.yet)
+
+
+@pytest.mark.parametrize("label, flags", [
+    ("naive", dict(use_constant=False, use_shared=False)),
+    ("shared", dict(use_constant=False, use_shared=True)),
+    ("constant", dict(use_constant=True, use_shared=False)),
+    ("shared_constant", dict(use_constant=True, use_shared=True)),
+])
+def test_placement_variants(benchmark, analysis, label, flags):
+    engine = DeviceEngine(max_rows_per_chunk=200_000, **flags)
+    res = benchmark(lambda: analysis.run(engine))
+    assert res.portfolio_ylt.n_trials == 20_000
+
+
+@pytest.mark.parametrize("chunk_rows", [50_000, 200_000, 1_000_000, None])
+def test_chunk_size_sweep(benchmark, analysis, chunk_rows):
+    engine = DeviceEngine(max_rows_per_chunk=chunk_rows)
+    res = benchmark(lambda: analysis.run(engine))
+    assert res.portfolio_ylt.n_trials == 20_000
+
+
+def test_constant_placement_feasibility(analysis):
+    """The 6k-event dense lookup (48 KB) must be placed in the 64 KB
+    constant space; the ablated engine must place it in global."""
+    res_opt = analysis.run(DeviceEngine())
+    res_naive = analysis.run(DeviceEngine(use_constant=False))
+    assert res_opt.details["layers"][0]["lookup_in_constant"]
+    assert not res_naive.details["layers"][0]["lookup_in_constant"]
+    assert res_opt.portfolio_ylt.allclose(res_naive.portfolio_ylt)

@@ -1,0 +1,67 @@
+"""E8 — stage-1 (risk modelling) throughput.
+
+Paper claim (§II): "in the first stage less than ten processors may be
+sufficient to handle the data".  The benchmark measures the streamed
+event×exposure pipeline; the processors-for-paper-scale derivation from
+the measured rate is in EXPERIMENTS.md (it comes out at 1).
+"""
+
+import pytest
+
+from repro.catmod import (
+    CatModPipeline,
+    assign_contracts,
+    generate_catalog,
+    generate_exposure,
+    standard_perils,
+)
+from repro.catmod.geography import Region
+from repro.hpc.cost_model import PipelineCostModel, StageSpec
+from repro.util.rng import RngHierarchy
+
+WEEK_SECONDS = 7 * 24 * 3600.0
+
+
+@pytest.fixture(scope="module")
+def stage1_inputs():
+    rng = RngHierarchy(19)
+    region = Region(25.0, 33.0, -98.0, -80.0)
+    perils = standard_perils()
+    catalog = generate_catalog(perils, region, 500, rng.generator("catalog"))
+    exposure = generate_exposure(region, 4_000, rng.generator("exposure"))
+    contracts = assign_contracts(exposure, 16, rng.generator("contracts"))
+    return perils, catalog, exposure, contracts
+
+
+def test_pipeline_run(benchmark, stage1_inputs):
+    perils, catalog, exposure, contracts = stage1_inputs
+    pipeline = CatModPipeline(perils)
+    elts, stats = benchmark.pedantic(
+        lambda: pipeline.run(catalog, exposure, contracts),
+        rounds=2, iterations=1,
+    )
+    assert len(elts) == 16
+    assert stats.event_site_pairs == 500 * 4_000
+
+
+def test_elt_generation_only(benchmark, stage1_inputs):
+    """Hazard+vulnerability+financial for one event batch (the hot loop)."""
+    perils, catalog, exposure, contracts = stage1_inputs
+    pipeline = CatModPipeline(perils)
+    small_catalog = type(catalog)(catalog.table.slice(0, 64))
+    result = benchmark(
+        lambda: pipeline.run(small_catalog, exposure, contracts,
+                             batch_events=64)
+    )
+    assert len(result[0]) == 16
+
+
+def test_paper_scale_needs_fewer_than_ten_processors(stage1_inputs):
+    perils, catalog, exposure, contracts = stage1_inputs
+    _, stats = CatModPipeline(perils).run(catalog, exposure, contracts)
+    model = PipelineCostModel([
+        StageSpec("stage1", work_items=100_000 * 1_000_000,
+                  throughput_per_proc=stats.pairs_per_second),
+    ])
+    req = model.procs_for_deadline("stage1", WEEK_SECONDS)
+    assert req.feasible and req.n_procs < 10

@@ -1,0 +1,50 @@
+"""E9 — the processor-burst profile across pipeline stages.
+
+Paper claim (§II): "While in the first stage less than ten processors
+may be sufficient to handle the data, in the second and third stages
+thousands or even tens of thousands of processors need to be put
+together" — the elastic demand that makes cloud provisioning attractive.
+The benchmark times the calibrated cost-model evaluation and asserts the
+burst shape; full numbers live in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_e09_burst_elasticity
+from repro.hpc.cost_model import PipelineCostModel, StageSpec
+
+WEEK_SECONDS = 7 * 24 * 3600.0
+
+
+@pytest.fixture(scope="module")
+def calibrated_model():
+    """A model calibrated to 2012-class scalar-core rates."""
+    return PipelineCostModel([
+        StageSpec("stage1", 1e11, 1.3e7, comm_overhead_per_proc_s=1.0),
+        StageSpec("stage2_scalar", 5e11, 2.2e6, comm_overhead_per_proc_s=0.001),
+        StageSpec("stage3", 1e10, 1.7e8, comm_overhead_per_proc_s=0.05),
+    ])
+
+
+def test_burst_profile_evaluation(benchmark, calibrated_model):
+    deadlines = {"stage1": WEEK_SECONDS, "stage2_scalar": 60.0, "stage3": 60.0}
+    reqs = benchmark(lambda: calibrated_model.burst_profile(deadlines))
+    by_name = {r.stage: r.n_procs for r in reqs}
+    assert by_name["stage1"] < 10
+    assert by_name["stage2_scalar"] >= 1_000
+
+
+def test_measured_burst_profile(benchmark):
+    """The full measured-rate E9 runner (calibrates from this machine)."""
+    report = benchmark.pedantic(
+        lambda: run_e09_burst_elasticity(measure_trials=5_000),
+        rounds=1, iterations=1,
+    )
+    assert any("burst factor" in note for note in report.notes)
+
+
+def test_burst_factor_is_orders_of_magnitude(calibrated_model):
+    deadlines = {"stage1": WEEK_SECONDS, "stage2_scalar": 60.0, "stage3": 60.0}
+    reqs = calibrated_model.burst_profile(deadlines)
+    counts = [r.n_procs for r in reqs]
+    assert max(counts) / min(counts) >= 1_000

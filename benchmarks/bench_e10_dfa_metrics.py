@@ -1,0 +1,109 @@
+"""E10 — DFA risk integration, PML/TVaR, and warehouse pre-computation.
+
+Paper claims (§II): the DFA stage combines catastrophe YLTs with the six
+named non-cat risks; PML and TVaR are the derived metrics; and because
+the data must be scanned, "pre-computation techniques such as in
+parallel data warehousing can be applied".
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import dfa_workload, warehouse_fact_table
+from repro.core.simulation import AggregateAnalysis
+from repro.data.warehouse import LossCube
+from repro.dfa import RiskMetrics, combine_ylts
+from repro.dfa.correlation import GaussianCopula
+from repro.util.rng import RngHierarchy
+
+N_TRIALS = 20_000
+
+
+@pytest.fixture(scope="module")
+def all_ylts(study_20k):
+    cat = AggregateAnalysis(study_20k.portfolio, study_20k.yet).run(
+        "vectorized").portfolio_ylt
+    return [cat] + [s.ylt for s in dfa_workload(cat)]
+
+
+def test_combine_trial_aligned(benchmark, all_ylts):
+    out = benchmark(lambda: combine_ylts(all_ylts, "trial_aligned"))
+    assert out.n_trials == N_TRIALS
+
+
+def test_combine_copula(benchmark, all_ylts):
+    corr = GaussianCopula.uniform(len(all_ylts), 0.3).correlation
+    rng = RngHierarchy(29)
+    out = benchmark(
+        lambda: combine_ylts(all_ylts, "copula", correlation=corr,
+                             rng=rng.generator("cop"))
+    )
+    assert out.n_trials == N_TRIALS
+
+
+def test_metrics_ladder(benchmark, all_ylts):
+    combined = combine_ylts(all_ylts, "trial_aligned")
+    metrics = benchmark(lambda: RiskMetrics.from_ylt(combined))
+    metrics.check_coherence()
+
+
+@pytest.fixture(scope="module")
+def facts():
+    return warehouse_fact_table(n_trials=10_000, rows_per_trial=20)
+
+
+@pytest.fixture(scope="module")
+def cube(facts):
+    return LossCube(facts, dims=("lob", "region", "peril"), n_trials=10_000)
+
+
+def test_warehouse_cube_build(benchmark, facts):
+    c = benchmark(lambda: LossCube(facts, dims=("lob", "region", "peril"),
+                                   n_trials=10_000))
+    assert c.n_cells > 0
+
+
+def test_warehouse_cube_query(benchmark, cube):
+    """Pre-aggregated slice query (the paper's pre-computation win)."""
+    pml = benchmark(lambda: cube.pml(250.0, {"lob": 1}))
+    assert pml > 0
+
+
+def test_recompute_from_fact_table(benchmark, facts):
+    """The same query answered by rescanning the base table."""
+
+    def recompute():
+        mask = facts["lob"] == 1
+        losses = np.zeros(10_000)
+        np.add.at(losses, facts["trial"][mask], facts["loss"][mask])
+        return float(np.quantile(losses, 1 - 1 / 250.0))
+
+    pml = benchmark(recompute)
+    assert pml > 0
+
+
+def test_cube_matches_recompute(cube, facts):
+    mask = facts["lob"] == 1
+    losses = np.zeros(10_000)
+    np.add.at(losses, facts["trial"][mask], facts["loss"][mask])
+    expect = float(np.quantile(losses, 1 - 1 / 250.0))
+    assert cube.pml(250.0, {"lob": 1}) == pytest.approx(expect, rel=1e-12)
+
+
+def test_dependence_ordering(all_ylts):
+    """Comonotonic >= copula(0.3) >= independent at TVaR99."""
+    rng = RngHierarchy(31)
+    k = len(all_ylts)
+    tv = {}
+    tv["ind"] = RiskMetrics.from_ylt(
+        combine_ylts(all_ylts, "independent", rng=rng.generator("i"))
+    ).tvar[0.99]
+    tv["cop"] = RiskMetrics.from_ylt(
+        combine_ylts(all_ylts, "copula",
+                     correlation=GaussianCopula.uniform(k, 0.3).correlation,
+                     rng=rng.generator("c"))
+    ).tvar[0.99]
+    tv["como"] = RiskMetrics.from_ylt(
+        combine_ylts(all_ylts, "comonotonic")
+    ).tvar[0.99]
+    assert tv["como"] >= tv["cop"] >= tv["ind"] * 0.99

@@ -1,0 +1,45 @@
+"""E11 — scaling ablations (the companion study's evaluation shapes).
+
+[7] reports runtime scaling with trial count, events per trial, and
+ELTs per layer.  The parametrised benchmarks regenerate the series; the
+linearity in events/trial (the occurrence-stream length) is the shape
+that matters, and the merged-lookup design makes ELT count nearly free.
+"""
+
+import pytest
+
+from repro.bench.workloads import build_layer_workload
+from repro.core.simulation import AggregateAnalysis
+
+
+@pytest.mark.parametrize("events_per_trial", [250, 500, 1000, 2000])
+def test_events_per_trial_sweep(benchmark, events_per_trial):
+    wl = build_layer_workload(
+        n_trials=10_000, mean_events_per_trial=float(events_per_trial),
+        n_elts=4, elt_rows=8_000, catalog_events=50_000, seed=31,
+    )
+    analysis = AggregateAnalysis(wl.portfolio, wl.yet)
+    res = benchmark(lambda: analysis.run("vectorized"))
+    assert res.portfolio_ylt.n_trials == 10_000
+
+
+@pytest.mark.parametrize("n_elts", [1, 4, 8, 16])
+def test_elts_per_layer_sweep(benchmark, n_elts):
+    wl = build_layer_workload(
+        n_trials=10_000, mean_events_per_trial=1000.0,
+        n_elts=n_elts, elt_rows=8_000, catalog_events=50_000, seed=31,
+    )
+    analysis = AggregateAnalysis(wl.portfolio, wl.yet)
+    res = benchmark(lambda: analysis.run("vectorized"))
+    assert res.portfolio_ylt.n_trials == 10_000
+
+
+@pytest.mark.parametrize("n_trials", [2_500, 5_000, 10_000, 20_000])
+def test_trial_count_sweep(benchmark, n_trials):
+    wl = build_layer_workload(
+        n_trials=n_trials, mean_events_per_trial=1000.0,
+        n_elts=4, elt_rows=8_000, catalog_events=50_000, seed=31,
+    )
+    analysis = AggregateAnalysis(wl.portfolio, wl.yet)
+    res = benchmark(lambda: analysis.run("vectorized"))
+    assert res.portfolio_ylt.n_trials == n_trials

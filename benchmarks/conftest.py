@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+Workloads are session-scoped: generation cost (YET simulation) must not
+pollute the timed regions, which measure only the analysis itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import (
+    build_layer_workload,
+    companion_study_workload,
+    typical_contract_workload,
+)
+
+
+@pytest.fixture(scope="session")
+def study_2k():
+    """Companion-study layer at 2k trials (sequential-feasible)."""
+    return companion_study_workload(n_trials=2_000)
+
+
+@pytest.fixture(scope="session")
+def study_20k():
+    """Companion-study layer at 20k trials (vector engines)."""
+    return companion_study_workload(n_trials=20_000)
+
+
+@pytest.fixture(scope="session")
+def contract_50k():
+    """§II 'typical contract' at 50k trials."""
+    return typical_contract_workload(n_trials=50_000)
+
+
+@pytest.fixture(scope="session")
+def small_lookup_20k():
+    """Workload whose dense lookup fits constant memory (E5)."""
+    return build_layer_workload(
+        n_trials=20_000, mean_events_per_trial=1000.0, n_elts=4,
+        elt_rows=2_000, catalog_events=6_000, seed=13,
+    )

@@ -1,0 +1,59 @@
+"""Real-time layer pricing — the §II "25 seconds → real-time" workflow.
+
+An underwriter considers several attachment points for a new excess-of-
+loss layer.  Each candidate is priced against the shared, pre-simulated
+YET ("a consistent lens through which to view results"), and the quote
+latency is reported — the workflow the paper argues becomes *real-time*
+once a million-trial simulation takes tens of seconds.
+
+Run:  python examples/realtime_pricing.py
+"""
+
+import repro
+from repro.util.tables import render_table
+
+# The shared trial set and a candidate book (one contract's ELT).
+workload = repro.bench.typical_contract_workload(n_trials=100_000)
+base_layer = workload.portfolio.layers[0]
+pricer = repro.RealTimePricer(workload.yet)
+
+# Candidate structures: rising attachment, fixed limit.
+mean_loss = 5e5
+candidates = []
+for i, retention_multiple in enumerate((1.0, 2.0, 4.0, 8.0, 16.0)):
+    terms = repro.LayerTerms(
+        occ_retention=retention_multiple * mean_loss,
+        occ_limit=40 * mean_loss,
+        agg_retention=10 * mean_loss,
+        agg_limit=3000 * mean_loss,
+        participation=0.9,
+    )
+    candidates.append(repro.Layer(100 + i, base_layer.elts, terms))
+
+quotes = pricer.quote_sweep(candidates)
+
+rows = []
+for layer, quote in zip(candidates, quotes):
+    rows.append([
+        f"{layer.terms.occ_retention:,.0f}",
+        f"{quote.expected_loss:,.0f}",
+        f"{quote.premium:,.0f}",
+        f"{quote.rate_on_line:.2%}",
+        f"{quote.latency_seconds * 1e3:.0f} ms",
+        f"{quote.trials_per_second:,.0f}",
+    ])
+print(render_table(
+    ["attachment", "expected loss", "premium", "rate-on-line",
+     "quote latency", "trials/s"],
+    rows,
+    title=f"What-if pricing over {workload.yet.n_trials:,} shared trials",
+))
+
+total_latency = sum(q.latency_seconds for q in quotes)
+# The first quote pays one-off lookup construction; steady-state latency
+# is what a pricing service would see.
+steady = min(q.latency_seconds for q in quotes)
+per_million = steady * (1_000_000 / workload.yet.n_trials)
+print(f"\nfive structures quoted in {total_latency:.1f}s total;")
+print(f"steady-state extrapolated 1M-trial quote: {per_million:.1f}s "
+      "(paper: ~25 s on a 2012 GPU)")

@@ -1,0 +1,29 @@
+"""Packaging for the repro library.
+
+Metadata lives here (classic setuptools) rather than in pyproject.toml
+deliberately: this project targets fully offline environments, and a
+``pyproject.toml`` build-system table forces pip into PEP-517 build
+isolation, which tries to download setuptools/wheel.  With only
+``setup.py`` present, ``pip install -e .`` uses the host's setuptools
+and works without network access.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Data Challenges in High-Performance Risk "
+        "Analytics' (SC 2012): the three-stage reinsurance risk-analytics "
+        "pipeline with HPC and data-management substrates."
+    ),
+    long_description=open("README.md", encoding="utf-8").read(),
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

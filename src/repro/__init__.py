@@ -1,0 +1,98 @@
+"""repro — reproduction of *Data Challenges in High-Performance Risk
+Analytics* (Varghese & Rau-Chaplin, SC 2012).
+
+The library implements the paper's three-stage reinsurance risk-analytics
+pipeline and the substrates it runs on:
+
+- :mod:`repro.catmod` — stage 1, catastrophe modelling (catalogues,
+  exposure, hazard/vulnerability/financial modules → ELTs);
+- :mod:`repro.core` — stage 2, portfolio aggregate analysis (YET × layers
+  → YLTs) with six interchangeable engines (sequential, vectorized,
+  simulated-GPU, multicore, MapReduce, distributed);
+- :mod:`repro.dfa` — stage 3, dynamic financial analysis and enterprise
+  risk (risk combination, PML/VaR/TVaR, reporting, real-time pricing);
+- :mod:`repro.data` — the data-management substrate (columnar scans,
+  row-store baseline, simulated DFS + MapReduce, warehouse cube);
+- :mod:`repro.hpc` — the HPC substrate (simulated GPU with memory
+  hierarchy, simulated cluster with collectives, cost model).
+
+Quickstart::
+
+    import repro
+    wl = repro.bench.companion_study_workload(n_trials=10_000)
+    result = repro.AggregateAnalysis(wl.portfolio, wl.yet).run("vectorized")
+    print(repro.regulator_report(repro.RiskMetrics.from_ylt(result.portfolio_ylt)))
+"""
+
+from repro import analytics, bench, catmod, core, data, dfa, hpc, util
+from repro.config import DEFAULTS, ReproConfig
+from repro.core import (
+    AggregateAnalysis,
+    AnalysisResult,
+    EltTable,
+    Layer,
+    LayerTerms,
+    LossLookup,
+    Portfolio,
+    YeltTable,
+    YelltModel,
+    YetTable,
+    YltTable,
+    available_engines,
+    get_engine,
+)
+from repro.dfa import (
+    Enterprise,
+    BusinessUnit,
+    PricingQuote,
+    RealTimePricer,
+    RiskMetrics,
+    combine_ylts,
+    probable_maximum_loss,
+    regulator_report,
+    tail_value_at_risk,
+    value_at_risk,
+)
+from repro.errors import ReproError
+from repro.util.rng import RngHierarchy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analytics",
+    "bench",
+    "catmod",
+    "core",
+    "data",
+    "dfa",
+    "hpc",
+    "util",
+    "DEFAULTS",
+    "ReproConfig",
+    "AggregateAnalysis",
+    "AnalysisResult",
+    "EltTable",
+    "Layer",
+    "LayerTerms",
+    "LossLookup",
+    "Portfolio",
+    "YeltTable",
+    "YelltModel",
+    "YetTable",
+    "YltTable",
+    "available_engines",
+    "get_engine",
+    "Enterprise",
+    "BusinessUnit",
+    "PricingQuote",
+    "RealTimePricer",
+    "RiskMetrics",
+    "combine_ylts",
+    "probable_maximum_loss",
+    "regulator_report",
+    "tail_value_at_risk",
+    "value_at_risk",
+    "ReproError",
+    "RngHierarchy",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Shared analytics: exceedance curves, convergence, engine comparison."""
+
+from repro.analytics.ep_curves import EpCurve, aep_curve, oep_curve
+from repro.analytics.convergence import ConvergenceDiagnostics
+from repro.analytics.comparison import assert_engines_equivalent, compare_engines
+from repro.analytics.sensitivity import term_sensitivities
+
+__all__ = [
+    "EpCurve",
+    "oep_curve",
+    "aep_curve",
+    "ConvergenceDiagnostics",
+    "compare_engines",
+    "assert_engines_equivalent",
+    "term_sensitivities",
+]

@@ -1,0 +1,73 @@
+"""Cross-engine equivalence checking.
+
+Every engine must produce the same YLT for the same inputs — that is the
+library's central correctness invariant (the engines differ only in
+execution substrate).  These helpers run several engines on one workload
+and compare outputs; the test suite and the speedup benches both use
+them, so a disagreement can never hide inside a performance number.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.portfolio import Portfolio
+from repro.core.simulation import AggregateAnalysis, AnalysisResult
+from repro.core.tables import YetTable
+from repro.errors import AnalysisError
+
+__all__ = ["compare_engines", "assert_engines_equivalent"]
+
+
+def compare_engines(
+    portfolio: Portfolio,
+    yet: YetTable,
+    names: list[str],
+    reference: str = "sequential",
+) -> dict[str, dict]:
+    """Run each engine and report deviation from the reference.
+
+    Returns ``{engine: {result, max_abs_diff, max_rel_diff, seconds}}``.
+    """
+    if reference not in names:
+        names = [reference, *names]
+    analysis = AggregateAnalysis(portfolio, yet)
+    results: dict[str, AnalysisResult] = {n: analysis.run(n) for n in names}
+    ref = results[reference].portfolio_ylt.losses
+    report = {}
+    for name, res in results.items():
+        losses = res.portfolio_ylt.losses
+        if losses.shape != ref.shape:
+            raise AnalysisError(
+                f"engine {name!r} produced {losses.shape} trials, "
+                f"reference has {ref.shape}"
+            )
+        diff = np.abs(losses - ref)
+        scale = np.maximum(np.abs(ref), 1.0)
+        report[name] = {
+            "result": res,
+            "max_abs_diff": float(diff.max()) if diff.size else 0.0,
+            "max_rel_diff": float((diff / scale).max()) if diff.size else 0.0,
+            "seconds": res.seconds,
+        }
+    return report
+
+
+def assert_engines_equivalent(
+    portfolio: Portfolio,
+    yet: YetTable,
+    names: list[str],
+    rtol: float = 1e-9,
+    atol: float = 1e-6,
+) -> None:
+    """Raise :class:`AnalysisError` if any engine deviates from sequential."""
+    report = compare_engines(portfolio, yet, names)
+    failures = []
+    for name, entry in report.items():
+        if entry["max_abs_diff"] > atol and entry["max_rel_diff"] > rtol:
+            failures.append(
+                f"{name}: max_abs={entry['max_abs_diff']:.3g}, "
+                f"max_rel={entry['max_rel_diff']:.3g}"
+            )
+    if failures:
+        raise AnalysisError("engine disagreement: " + "; ".join(failures))

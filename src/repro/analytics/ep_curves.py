@@ -1,0 +1,94 @@
+"""Exceedance-probability curves (OEP / AEP).
+
+The two standard views of a simulated loss distribution:
+
+- **AEP** (aggregate exceedance probability): distribution of the trial
+  year's *total* loss — built from a YLT;
+- **OEP** (occurrence exceedance probability): distribution of the trial
+  year's *largest single event* loss — built from a YELT.
+
+AEP dominates OEP pointwise (a year's total is at least its maximum),
+which is one of the library's property-tested invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tables import YeltTable, YltTable
+from repro.errors import AnalysisError
+
+__all__ = ["EpCurve", "oep_curve", "aep_curve"]
+
+
+class EpCurve:
+    """An empirical exceedance curve over per-trial values.
+
+    The curve is the complementary CDF of the per-trial statistic:
+    ``p(x) = P[value > x]`` estimated over the trial sample.
+    """
+
+    __slots__ = ("_sorted",)
+
+    def __init__(self, per_trial_values: np.ndarray) -> None:
+        values = np.asarray(per_trial_values, dtype=np.float64).ravel()
+        if values.size == 0:
+            raise AnalysisError("EP curve needs at least one trial value")
+        if not np.isfinite(values).all():
+            raise AnalysisError("EP curve values must be finite")
+        self._sorted = np.sort(values)
+
+    @property
+    def n_trials(self) -> int:
+        return self._sorted.size
+
+    def probability_of_exceeding(self, loss) -> np.ndarray | float:
+        """``P[value > loss]`` (vectorised over thresholds)."""
+        loss = np.asarray(loss, dtype=np.float64)
+        idx = np.searchsorted(self._sorted, loss, side="right")
+        out = 1.0 - idx / self._sorted.size
+        return float(out) if out.ndim == 0 else out
+
+    def loss_at_probability(self, p_exceed: float) -> float:
+        """Smallest loss whose exceedance probability is ≤ ``p_exceed``."""
+        if not (0.0 < p_exceed < 1.0):
+            raise AnalysisError(f"p_exceed must lie in (0,1), got {p_exceed}")
+        return float(np.quantile(self._sorted, 1.0 - p_exceed))
+
+    def loss_at_return_period(self, years: float) -> float:
+        """Loss at a mean recurrence interval (the PML read off the curve)."""
+        if years <= 1.0:
+            raise AnalysisError(f"return period must exceed 1 year, got {years}")
+        return self.loss_at_probability(1.0 / years)
+
+    def as_points(self, n_points: int = 100) -> tuple[np.ndarray, np.ndarray]:
+        """(losses, exceedance probs) sampled for plotting/reporting."""
+        if n_points <= 1:
+            raise AnalysisError("n_points must be at least 2")
+        qs = np.linspace(0.0, 1.0 - 1.0 / self._sorted.size, n_points)
+        losses = np.quantile(self._sorted, qs)
+        probs = 1.0 - qs
+        return losses, probs
+
+    def dominates(self, other: "EpCurve", atol: float = 1e-9) -> bool:
+        """True if this curve's loss ≥ other's at every probability level."""
+        if self.n_trials != other.n_trials:
+            raise AnalysisError("curves must share the trial count to compare")
+        return bool(np.all(self._sorted >= other._sorted - atol))
+
+
+def aep_curve(ylt: YltTable) -> EpCurve:
+    """Aggregate EP curve from a year-loss table."""
+    return EpCurve(ylt.losses)
+
+
+def oep_curve(yelt: YeltTable) -> EpCurve:
+    """Occurrence EP curve: per-trial maximum event loss from a YELT.
+
+    Trials with no (non-zero) events contribute a maximum of zero —
+    they are real years in which nothing happened.
+    """
+    maxima = np.zeros(yelt.n_trials, dtype=np.float64)
+    if yelt.table.n_rows:
+        np.maximum.at(maxima, yelt.table["trial"], yelt.table["loss"])
+    return EpCurve(maxima)

@@ -1,0 +1,239 @@
+"""Canonical workloads for the experiments.
+
+Every experiment needs "a YET and a portfolio shaped like X".  These
+builders produce them deterministically from a seed, at any scale, with
+the companion study's shapes as presets:
+
+- the **companion-study layer**: one layer over 15 ELTs of 10k-25k rows,
+  driven by a YET with ~1000 events per trial (the [7] evaluation rig
+  whose GPU ran 15× the sequential code);
+- the **typical contract**: one layer over one ELT — the unit whose
+  million-trial run §II prices in ~25 s.
+
+ELT losses are lognormal (heavy-tailed, like real event losses); layer
+terms attach above the loss median so that both terms branches (below
+retention / above limit) are exercised at every scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.layer import Layer
+from repro.core.portfolio import Portfolio
+from repro.core.tables import EltTable, YetTable, YltTable
+from repro.core.terms import LayerTerms
+from repro.data.columnar import ColumnTable
+from repro.data.schema import Schema
+from repro.dfa.risks import (
+    counterparty_risk,
+    interest_rate_risk,
+    investment_risk,
+    market_cycle_risk,
+    operational_risk,
+    reserve_risk,
+)
+from repro.errors import ConfigurationError
+from repro.util.rng import RngHierarchy
+
+__all__ = [
+    "Workload",
+    "build_elt",
+    "build_layer_workload",
+    "build_portfolio_workload",
+    "companion_study_workload",
+    "typical_contract_workload",
+    "dfa_workload",
+    "warehouse_fact_table",
+]
+
+
+@dataclass
+class Workload:
+    """A bound (portfolio, YET) pair plus provenance metadata."""
+
+    portfolio: Portfolio
+    yet: YetTable
+    meta: dict = field(default_factory=dict)
+
+
+def build_elt(
+    n_rows: int,
+    catalog_events: int,
+    rng: np.random.Generator,
+    mean_loss: float = 5e5,
+    sigma: float = 1.4,
+    contract_id: int = 0,
+) -> EltTable:
+    """One synthetic ELT: ``n_rows`` events sampled from the catalogue id
+    space with lognormal mean losses."""
+    if n_rows > catalog_events:
+        raise ConfigurationError(
+            f"cannot draw {n_rows} distinct events from a {catalog_events}-event catalogue"
+        )
+    event_ids = rng.choice(catalog_events, size=n_rows, replace=False).astype(np.int64)
+    event_ids.sort()
+    mu = np.log(mean_loss) - 0.5 * sigma**2
+    losses = rng.lognormal(mu, sigma, size=n_rows)
+    sigmas = losses * rng.uniform(0.3, 0.8, size=n_rows)
+    return EltTable.from_arrays(event_ids, losses, sigmas, contract_id=contract_id)
+
+
+def _default_terms(mean_loss: float) -> LayerTerms:
+    """An excess-of-loss layer attaching in the tail of the event-loss
+    distribution, with occurrence and aggregate caps that bind on the
+    worst occurrences/years but not on typical ones — so every branch of
+    the terms arithmetic is exercised without degenerating the YLT."""
+    return LayerTerms(
+        occ_retention=3.0 * mean_loss,
+        occ_limit=40.0 * mean_loss,
+        agg_retention=10.0 * mean_loss,
+        agg_limit=3000.0 * mean_loss,
+        participation=0.9,
+    )
+
+
+def build_layer_workload(
+    n_trials: int,
+    mean_events_per_trial: float,
+    n_elts: int,
+    elt_rows: int,
+    catalog_events: int,
+    seed: int = 7,
+    terms: LayerTerms | None = None,
+    mean_loss: float = 5e5,
+) -> Workload:
+    """One layer over ``n_elts`` ELTs, with a simulated YET."""
+    rng = RngHierarchy(seed)
+    elts = [
+        build_elt(elt_rows, catalog_events, rng.generator(f"elt/{i}"),
+                  mean_loss=mean_loss, contract_id=i)
+        for i in range(n_elts)
+    ]
+    layer = Layer(0, elts, terms or _default_terms(mean_loss))
+    catalog_ids = np.arange(catalog_events, dtype=np.int64)
+    rates = np.full(catalog_events, 1.0 / catalog_events)
+    yet = YetTable.simulate(
+        catalog_ids, rates, n_trials, rng.generator("yet"),
+        mean_events_per_trial=mean_events_per_trial,
+    )
+    return Workload(
+        portfolio=Portfolio([layer]),
+        yet=yet,
+        meta={
+            "n_trials": n_trials,
+            "mean_events_per_trial": mean_events_per_trial,
+            "n_elts": n_elts,
+            "elt_rows": elt_rows,
+            "catalog_events": catalog_events,
+            "seed": seed,
+        },
+    )
+
+
+def build_portfolio_workload(
+    n_layers: int,
+    n_trials: int,
+    mean_events_per_trial: float,
+    elts_per_layer: int,
+    elt_rows: int,
+    catalog_events: int,
+    seed: int = 7,
+    mean_loss: float = 5e5,
+) -> Workload:
+    """A multi-layer portfolio sharing one YET."""
+    rng = RngHierarchy(seed)
+    layers = []
+    cid = 0
+    for li in range(n_layers):
+        elts = []
+        for _ in range(elts_per_layer):
+            elts.append(build_elt(
+                elt_rows, catalog_events, rng.generator(f"elt/{cid}"),
+                mean_loss=mean_loss, contract_id=cid,
+            ))
+            cid += 1
+        layers.append(Layer(li, elts, _default_terms(mean_loss)))
+    catalog_ids = np.arange(catalog_events, dtype=np.int64)
+    rates = np.full(catalog_events, 1.0 / catalog_events)
+    yet = YetTable.simulate(
+        catalog_ids, rates, n_trials, rng.generator("yet"),
+        mean_events_per_trial=mean_events_per_trial,
+    )
+    return Workload(
+        portfolio=Portfolio(layers),
+        yet=yet,
+        meta={"n_layers": n_layers, "n_trials": n_trials,
+              "elts_per_layer": elts_per_layer, "seed": seed},
+    )
+
+
+def companion_study_workload(n_trials: int = 100_000, seed: int = 7) -> Workload:
+    """The [7] evaluation shape: 1 layer, 15 ELTs × 16k rows, ~1000
+    events/trial over a 100k-event catalogue (scaled by ``n_trials``)."""
+    return build_layer_workload(
+        n_trials=n_trials,
+        mean_events_per_trial=1000.0,
+        n_elts=15,
+        elt_rows=16_000,
+        catalog_events=100_000,
+        seed=seed,
+    )
+
+
+def typical_contract_workload(n_trials: int = 1_000_000, seed: int = 7) -> Workload:
+    """§II's "typical contract": one layer over one ELT."""
+    return build_layer_workload(
+        n_trials=n_trials,
+        mean_events_per_trial=1000.0,
+        n_elts=1,
+        elt_rows=16_000,
+        catalog_events=100_000,
+        seed=seed,
+    )
+
+
+def dfa_workload(cat_ylt: YltTable, seed: int = 7) -> list:
+    """The six §II risk sources simulated on the cat YLT's trial set."""
+    rng = RngHierarchy(seed)
+    n = cat_ylt.n_trials
+    return [
+        investment_risk(n, rng.generator("investment")),
+        reserve_risk(n, rng.generator("reserve")),
+        interest_rate_risk(n, rng.generator("interest_rate")),
+        market_cycle_risk(n, rng.generator("market_cycle")),
+        counterparty_risk(n, rng.generator("counterparty")),
+        operational_risk(n, rng.generator("operational")),
+    ]
+
+
+WAREHOUSE_SCHEMA = Schema([
+    ("trial", np.int64),
+    ("lob", np.int64),
+    ("region", np.int64),
+    ("peril", np.int64),
+    ("loss", np.float64),
+])
+
+
+def warehouse_fact_table(
+    n_trials: int,
+    rows_per_trial: int,
+    n_lobs: int = 4,
+    n_regions: int = 6,
+    n_perils: int = 4,
+    seed: int = 7,
+) -> ColumnTable:
+    """A dimensioned YLT-style fact table for the warehouse bench (E10)."""
+    rng = RngHierarchy(seed).generator("facts")
+    n = n_trials * rows_per_trial
+    return ColumnTable.from_arrays(
+        WAREHOUSE_SCHEMA,
+        trial=np.repeat(np.arange(n_trials, dtype=np.int64), rows_per_trial),
+        lob=rng.integers(0, n_lobs, size=n),
+        region=rng.integers(0, n_regions, size=n),
+        peril=rng.integers(0, n_perils, size=n),
+        loss=rng.lognormal(12.0, 1.0, size=n),
+    )

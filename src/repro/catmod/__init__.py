@@ -1,0 +1,48 @@
+"""Stage 1 — catastrophe modelling (risk modelling).
+
+Catastrophe models "take two primary inputs, firstly, stochastic event
+catalogues ... and secondly, exposure databases", and analyse each
+event-exposure pair "using three modules that quantify (i) the hazard
+intensity at exposure sites, (ii) the vulnerability of the buildings and
+the resulting damage level, and (iii) the resultant financial loss.  The
+output at this stage is an Event-Loss Table (ELT)" (§II).
+
+This package implements that stage end to end on synthetic but
+statistically structured data: peril definitions with frequency-severity
+laws, a stochastic catalogue generator, a clustered exposure-database
+generator, the hazard / vulnerability / financial modules as vectorised
+transforms, and a streaming pipeline that assembles per-contract ELTs.
+"""
+
+from repro.catmod.geography import Region, haversine_km, random_sites
+from repro.catmod.perils import Peril, PerilKind, standard_perils
+from repro.catmod.catalog import EventCatalog, generate_catalog
+from repro.catmod.exposure import ExposureDatabase, generate_exposure
+from repro.catmod.hazard import hazard_intensity
+from repro.catmod.vulnerability import VulnerabilityCurve, damage_ratio, standard_curves
+from repro.catmod.financial import PolicyTerms, gross_loss
+from repro.catmod.contracts import Contract, assign_contracts
+from repro.catmod.pipeline import CatModPipeline, PipelineStats
+
+__all__ = [
+    "Region",
+    "haversine_km",
+    "random_sites",
+    "Peril",
+    "PerilKind",
+    "standard_perils",
+    "EventCatalog",
+    "generate_catalog",
+    "ExposureDatabase",
+    "generate_exposure",
+    "hazard_intensity",
+    "VulnerabilityCurve",
+    "damage_ratio",
+    "standard_curves",
+    "PolicyTerms",
+    "gross_loss",
+    "Contract",
+    "assign_contracts",
+    "CatModPipeline",
+    "PipelineStats",
+]

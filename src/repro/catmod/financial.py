@@ -1,0 +1,61 @@
+"""Financial module: ground-up damage to insured gross loss.
+
+Module (iii) of the catastrophe model: "the resultant financial loss"
+(§II).  Site-level policy terms — deductible and limit, both expressible
+as fractions of the insured value — map ground-up loss (damage ratio ×
+value) to the gross loss that enters the contract's ELT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PolicyTerms", "ground_up_loss", "gross_loss"]
+
+
+@dataclass(frozen=True)
+class PolicyTerms:
+    """Primary-insurance terms applied at each site.
+
+    Attributes
+    ----------
+    deductible_fraction:
+        Deductible as a fraction of site value (retained by the insured).
+    limit_fraction:
+        Maximum payout as a fraction of site value (∞ = unlimited).
+    """
+
+    deductible_fraction: float = 0.01
+    limit_fraction: float = 1.0
+
+    def __post_init__(self):
+        if not (0.0 <= self.deductible_fraction <= 1.0):
+            raise ConfigurationError("deductible_fraction must lie in [0, 1]")
+        if self.limit_fraction <= 0:
+            raise ConfigurationError("limit_fraction must be positive")
+
+
+def ground_up_loss(damage_ratio: np.ndarray, value: np.ndarray) -> np.ndarray:
+    """Economic loss before any insurance terms."""
+    return np.asarray(damage_ratio, dtype=np.float64) * np.asarray(value, dtype=np.float64)
+
+
+def gross_loss(
+    damage_ratio: np.ndarray,
+    value: np.ndarray,
+    terms: PolicyTerms,
+) -> np.ndarray:
+    """Insured gross loss after site deductible and limit.
+
+    ``gross = min(max(gu - ded, 0), limit)`` per site, with ``ded`` and
+    ``limit`` scaled by site value.
+    """
+    value = np.asarray(value, dtype=np.float64)
+    gu = ground_up_loss(damage_ratio, value)
+    ded = terms.deductible_fraction * value
+    lim = terms.limit_fraction * value
+    return np.minimum(np.maximum(gu - ded, 0.0), lim)

@@ -1,0 +1,100 @@
+"""Geography primitives: regions, site sampling, great-circle distance.
+
+The hazard module needs one geometric operation at scale — distance from
+an event's epicentre to every exposure site — so it is implemented as a
+broadcast-friendly vectorised haversine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Region", "haversine_km", "random_sites"]
+
+EARTH_RADIUS_KM = 6371.0
+
+
+@dataclass(frozen=True)
+class Region:
+    """A latitude/longitude bounding box (degrees)."""
+
+    lat_min: float
+    lat_max: float
+    lon_min: float
+    lon_max: float
+    name: str = "region"
+
+    def __post_init__(self):
+        if not (-90 <= self.lat_min < self.lat_max <= 90):
+            raise ConfigurationError(
+                f"invalid latitude range [{self.lat_min}, {self.lat_max}]"
+            )
+        if not (-180 <= self.lon_min < self.lon_max <= 180):
+            raise ConfigurationError(
+                f"invalid longitude range [{self.lon_min}, {self.lon_max}]"
+            )
+
+    @property
+    def lat_span(self) -> float:
+        return self.lat_max - self.lat_min
+
+    @property
+    def lon_span(self) -> float:
+        return self.lon_max - self.lon_min
+
+    def contains(self, lat, lon) -> np.ndarray:
+        """Vectorised membership test."""
+        lat = np.asarray(lat)
+        lon = np.asarray(lon)
+        return (
+            (lat >= self.lat_min) & (lat <= self.lat_max)
+            & (lon >= self.lon_min) & (lon <= self.lon_max)
+        )
+
+
+#: A US-Gulf-coast-like default region used by the examples and benches.
+GULF_COAST = Region(25.0, 33.0, -98.0, -80.0, name="gulf-coast")
+
+
+def haversine_km(lat1, lon1, lat2, lon2) -> np.ndarray:
+    """Great-circle distance in km; broadcasts over any argument shapes."""
+    lat1, lon1, lat2, lon2 = (np.radians(np.asarray(a, dtype=np.float64))
+                              for a in (lat1, lon1, lat2, lon2))
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = np.sin(dlat / 2.0) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(h, 0.0, 1.0)))
+
+
+def random_sites(region: Region, n: int, rng: np.random.Generator,
+                 n_clusters: int = 12, cluster_sigma_deg: float = 0.35
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``n`` site coordinates clustered around urban centres.
+
+    Exposure is not uniform — buildings cluster in cities — and that
+    clustering is what makes single events produce correlated losses.
+    Cluster centres are uniform in the region; sites are Gaussian around a
+    centre chosen with population-like (Zipf) weights, clipped to the box.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"need a positive site count, got {n}")
+    if n_clusters <= 0:
+        raise ConfigurationError(f"need a positive cluster count, got {n_clusters}")
+    centres_lat = rng.uniform(region.lat_min, region.lat_max, size=n_clusters)
+    centres_lon = rng.uniform(region.lon_min, region.lon_max, size=n_clusters)
+    weights = 1.0 / np.arange(1, n_clusters + 1, dtype=np.float64)
+    weights /= weights.sum()
+    which = rng.choice(n_clusters, size=n, p=weights)
+    lat = np.clip(
+        centres_lat[which] + rng.normal(0.0, cluster_sigma_deg, size=n),
+        region.lat_min, region.lat_max,
+    )
+    lon = np.clip(
+        centres_lon[which] + rng.normal(0.0, cluster_sigma_deg, size=n),
+        region.lon_min, region.lon_max,
+    )
+    return lat, lon

@@ -1,0 +1,46 @@
+"""Hazard module: intensity of an event at exposure sites.
+
+Module (i) of the catastrophe model: "the hazard intensity at exposure
+sites" (§II).  Intensity is the event's magnitude attenuated by distance
+with the peril's decay law, truncated to zero outside the footprint
+radius.  The computation is a pure broadcastable function so the pipeline
+can evaluate one event against a million sites in a single vectorised
+call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catmod.geography import haversine_km
+from repro.catmod.perils import Peril
+
+__all__ = ["attenuate", "hazard_intensity"]
+
+
+def attenuate(magnitude, distance_km, peril: Peril) -> np.ndarray:
+    """Intensity at ``distance_km`` from an event of ``magnitude``.
+
+    ``I(m, d) = m / (1 + d/d0)^p`` — a generic inverse-power attenuation
+    that matches the qualitative shape of ground-motion-prediction and
+    wind-field decay curves.
+    """
+    magnitude = np.asarray(magnitude, dtype=np.float64)
+    distance_km = np.asarray(distance_km, dtype=np.float64)
+    decay = (1.0 + distance_km / peril.attenuation_d0_km) ** peril.attenuation_power
+    return magnitude / decay
+
+
+def hazard_intensity(
+    event_lat: float,
+    event_lon: float,
+    magnitude: float,
+    radius_km: float,
+    peril: Peril,
+    site_lat: np.ndarray,
+    site_lon: np.ndarray,
+) -> np.ndarray:
+    """Intensity of one event at each site (zero outside the footprint)."""
+    d = haversine_km(event_lat, event_lon, site_lat, site_lon)
+    intensity = attenuate(magnitude, d, peril)
+    return np.where(d <= radius_km, intensity, 0.0)

@@ -1,0 +1,67 @@
+"""The aggregate-analysis engine family.
+
+Six engines execute the identical analysis (same YET, same portfolio,
+same financial arithmetic) on different execution substrates:
+
+========== ===============================================================
+name        substrate
+========== ===============================================================
+sequential  pure-Python scalar loop — the paper's "sequential counterpart"
+vectorized  whole-array NumPy — data-parallel, global-memory-only model
+device      :class:`~repro.hpc.device.SimulatedGpu` with chunking and
+            constant-memory lookup placement — the paper's optimised GPU
+multicore   trial-block decomposition over a process pool
+mapreduce   a MapReduce job over the simulated DFS (large file space path)
+distributed trial-scatter / lookup-broadcast / YLT-gather over SimCluster
+========== ===============================================================
+
+Numerical equivalence across all six is a tested invariant; their
+relative wall-clock behaviour is experiments E3-E5 and E7.
+"""
+
+from repro.core.engines.base import Engine, EngineResult
+from repro.core.engines.sequential import SequentialEngine
+from repro.core.engines.vectorized import VectorizedEngine
+from repro.core.engines.device import DeviceEngine
+from repro.core.engines.multicore import MulticoreEngine
+from repro.core.engines.mapreduce_engine import MapReduceEngine
+from repro.core.engines.distributed import DistributedEngine
+from repro.errors import EngineError
+
+__all__ = [
+    "Engine",
+    "EngineResult",
+    "SequentialEngine",
+    "VectorizedEngine",
+    "DeviceEngine",
+    "MulticoreEngine",
+    "MapReduceEngine",
+    "DistributedEngine",
+    "available_engines",
+    "get_engine",
+]
+
+_REGISTRY = {
+    "sequential": SequentialEngine,
+    "vectorized": VectorizedEngine,
+    "device": DeviceEngine,
+    "multicore": MulticoreEngine,
+    "mapreduce": MapReduceEngine,
+    "distributed": DistributedEngine,
+}
+
+
+def available_engines() -> list[str]:
+    """Names accepted by :func:`get_engine`."""
+    return sorted(_REGISTRY)
+
+
+def get_engine(name: str, **kwargs) -> Engine:
+    """Construct an engine by registry name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown engine {name!r}; available: {available_engines()}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,61 @@
+"""Engine interface and result contract."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.core.portfolio import Portfolio
+from repro.core.tables import YeltTable, YetTable, YltTable
+from repro.errors import EngineError
+
+__all__ = ["EngineResult", "Engine"]
+
+
+@dataclass
+class EngineResult:
+    """Output of one aggregate-analysis run.
+
+    Attributes
+    ----------
+    engine:
+        Name of the engine that produced the result.
+    ylt_by_layer:
+        One dense YLT per layer id (after all financial terms).
+    portfolio_ylt:
+        Trial-aligned sum of the per-layer YLTs.
+    yelt_by_layer:
+        Optional per-layer YELTs (the event-granularity intermediate,
+        *after* occurrence terms, *before* aggregate terms); emitted only
+        on request because it is ~10³× larger than the YLT (§II).
+    seconds:
+        Wall-clock of the run's compute phase.
+    details:
+        Engine-specific diagnostics (chunk counts, transfer bytes,
+        communication time, task timings...).
+    """
+
+    engine: str
+    ylt_by_layer: dict[int, YltTable]
+    portfolio_ylt: YltTable
+    yelt_by_layer: dict[int, YeltTable] | None = None
+    seconds: float = 0.0
+    details: dict = field(default_factory=dict)
+
+
+class Engine(abc.ABC):
+    """Abstract aggregate-analysis engine."""
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(self, portfolio: Portfolio, yet: YetTable, *,
+            emit_yelt: bool = False) -> EngineResult:
+        """Execute the analysis; see :class:`EngineResult`."""
+
+    def _validate(self, portfolio: Portfolio, yet: YetTable) -> None:
+        if not isinstance(portfolio, Portfolio):
+            raise EngineError(f"expected Portfolio, got {type(portfolio).__name__}")
+        if not isinstance(yet, YetTable):
+            raise EngineError(f"expected YetTable, got {type(yet).__name__}")

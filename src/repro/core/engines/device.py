@@ -1,0 +1,221 @@
+"""The chunked simulated-GPU engine — the paper's optimised path.
+
+This engine reproduces the data-management strategy of the companion
+study [7] on :class:`~repro.hpc.device.SimulatedGpu`:
+
+- the YET is **streamed through global memory in chunks** sized by the
+  :class:`~repro.hpc.chunking.ChunkPlanner` against the device's real
+  capacity (E5's chunk-size sweep drives ``max_rows_per_chunk``);
+- the layer's event-loss lookup is placed in **constant memory** when it
+  fits (dense, ≤64 KiB) and global memory otherwise;
+- each kernel block reduces its occurrences into a **shared-memory
+  accumulator** when the block's trial span fits the 48 KiB shared space,
+  falling back to global-memory accumulation (the analogue of global
+  atomics) otherwise;
+- aggregate terms run as a second, trials-wide kernel.
+
+``use_constant`` / ``use_shared`` switches exist purely for the E5
+ablation: turning them off yields the "naive GPU" the study improved on.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.engines.base import Engine, EngineResult
+from repro.core.portfolio import Portfolio
+from repro.core.tables import YELT_SCHEMA, YeltTable, YetTable, YltTable
+from repro.data.columnar import ColumnTable
+from repro.hpc.chunking import ChunkPlanner
+from repro.hpc.device import SimulatedGpu
+from repro.hpc.kernel import Kernel
+
+__all__ = ["DeviceEngine"]
+
+#: Bytes per YET row resident on device: trial (i8) + event_id (i8).
+_YET_ROW_BYTES = 16
+
+
+class DeviceEngine(Engine):
+    """Aggregate analysis on the simulated GPU with explicit chunking."""
+
+    name = "device"
+
+    def __init__(
+        self,
+        gpu: SimulatedGpu | None = None,
+        max_rows_per_chunk: int | None = None,
+        use_constant: bool = True,
+        use_shared: bool = True,
+        dense_max_entries: int = 4_000_000,
+        global_budget_fraction: float = 0.9,
+    ) -> None:
+        self.gpu = gpu or SimulatedGpu()
+        self.max_rows_per_chunk = max_rows_per_chunk
+        self.use_constant = use_constant
+        self.use_shared = use_shared
+        self.dense_max_entries = dense_max_entries
+        self.planner = ChunkPlanner(self.gpu.properties, global_budget_fraction)
+
+    # -- kernels -------------------------------------------------------------
+
+    def _make_layer_kernel(self, terms, lookup_kind: str, use_shared: bool,
+                           lookup_in_constant: bool) -> Kernel:
+        occ_ret = terms.occ_retention
+        occ_lim = terms.occ_limit
+
+        def body(ctx, trial, event, annual, **lookup_bufs):
+            s = ctx.rows()
+            ev = event[s]
+            if lookup_kind == "dense":
+                table = ctx.constant["lookup"] if lookup_in_constant else lookup_bufs["lookup"]
+                clipped = np.clip(ev, 0, table.size - 1)
+                losses = np.where(ev < table.size, table[clipped], 0.0)
+            else:
+                ids = lookup_bufs["lookup_ids"]
+                vals = lookup_bufs["lookup_vals"]
+                pos = np.minimum(np.searchsorted(ids, ev), ids.size - 1)
+                losses = np.where(ids[pos] == ev, vals[pos], 0.0)
+            retained = np.clip(losses - occ_ret, 0.0, occ_lim)
+            tr = trial[s]
+            if use_shared and tr.size:
+                tmin = int(tr[0])
+                span = int(tr[-1]) - tmin + 1
+                if span * 8 <= ctx.shared.free_bytes:
+                    # Block-local reduction in shared memory, then one
+                    # coalesced add into the global accumulator.
+                    acc = ctx.shared.alloc("acc", span, np.float64)
+                    np.add.at(acc, tr - tmin, retained)
+                    annual[tmin:tmin + span] += acc
+                    return
+            # Fallback: per-occurrence accumulation into global memory
+            # (the analogue of global atomics).
+            np.add.at(annual, tr, retained)
+
+        return Kernel("layer_loss", body)
+
+    def _make_agg_kernel(self, terms) -> Kernel:
+        agg_ret = terms.agg_retention
+        agg_lim = terms.agg_limit
+        share = terms.participation
+
+        def body(ctx, annual):
+            s = ctx.rows()
+            out = np.clip(annual[s] - agg_ret, 0.0, agg_lim)
+            out *= share
+            annual[s] = out
+
+        return Kernel("aggregate_terms", body)
+
+    # -- run -----------------------------------------------------------------
+
+    def run(self, portfolio: Portfolio, yet: YetTable, *,
+            emit_yelt: bool = False) -> EngineResult:
+        self._validate(portfolio, yet)
+        t0 = time.perf_counter()
+        gpu = self.gpu
+
+        trials = yet.trials
+        event_ids = yet.event_ids
+        n_rows = yet.n_occurrences
+        n_trials = yet.n_trials
+
+        ylt_by_layer: dict[int, YltTable] = {}
+        yelt_by_layer: dict[int, YeltTable] | None = {} if emit_yelt else None
+        layer_details = {}
+
+        for layer in portfolio:
+            gpu.reset()
+            lookup = layer.lookup(dense_max_entries=self.dense_max_entries)
+            plan = self.planner.plan(
+                n_rows=n_rows,
+                row_bytes=_YET_ROW_BYTES,
+                lookup_bytes=lookup.nbytes,
+                shared_bytes_per_row=8,
+                max_rows_per_chunk=self.max_rows_per_chunk,
+            )
+            in_constant = (
+                self.use_constant
+                and lookup.kind == "dense"
+                and gpu.fits_constant(lookup.nbytes)
+            )
+            lookup_bufs: dict[str, str] = {}
+            if lookup.kind == "dense":
+                if in_constant:
+                    gpu.upload_constant("lookup", lookup.table_array)
+                else:
+                    gpu.upload("lookup", lookup.table_array)
+                    lookup_bufs["lookup"] = "lookup"
+            else:
+                gpu.upload("lookup_ids", lookup.ids)
+                gpu.upload("lookup_vals", lookup.values)
+                lookup_bufs["lookup_ids"] = "lookup_ids"
+                lookup_bufs["lookup_vals"] = "lookup_vals"
+
+            gpu.alloc("annual", n_trials, np.float64)
+            kernel = self._make_layer_kernel(
+                layer.terms, lookup.kind, self.use_shared, in_constant
+            )
+
+            start = 0
+            chunk_index = 0
+            while start < n_rows:
+                stop = min(start + plan.rows_per_chunk, n_rows)
+                gpu.upload("trial_chunk", trials[start:stop])
+                gpu.upload("event_chunk", event_ids[start:stop])
+                gpu.launch(
+                    kernel,
+                    stop - start,
+                    rows_per_block=plan.rows_per_block,
+                    trial="trial_chunk",
+                    event="event_chunk",
+                    annual="annual",
+                    **lookup_bufs,
+                )
+                gpu.free("trial_chunk")
+                gpu.free("event_chunk")
+                start = stop
+                chunk_index += 1
+
+            agg_kernel = self._make_agg_kernel(layer.terms)
+            gpu.launch(agg_kernel, n_trials,
+                       rows_per_block=plan.rows_per_block, annual="annual")
+            ylt_by_layer[layer.layer_id] = YltTable(gpu.download("annual"))
+            layer_details[layer.layer_id] = {
+                "n_chunks": chunk_index,
+                "rows_per_chunk": plan.rows_per_chunk,
+                "rows_per_block": plan.rows_per_block,
+                "lookup_in_constant": in_constant,
+                "lookup_kind": lookup.kind,
+                "lookup_bytes": lookup.nbytes,
+            }
+
+            if emit_yelt:
+                # The YELT is a host-side artefact; regenerate it with the
+                # same arithmetic (device memory could not hold it anyway,
+                # which is §II's point about YELT-level analysis).
+                losses = lookup(event_ids)
+                retained = layer.terms.apply_occurrence(losses)
+                covered = losses > 0.0
+                table = ColumnTable.from_arrays(
+                    YELT_SCHEMA, trial=trials[covered], event_id=event_ids[covered],
+                    loss=retained[covered],
+                )
+                yelt_by_layer[layer.layer_id] = YeltTable(table, n_trials)
+
+        portfolio_ylt = YltTable.sum(list(ylt_by_layer.values()))
+        return EngineResult(
+            engine=self.name,
+            ylt_by_layer=ylt_by_layer,
+            portfolio_ylt=portfolio_ylt,
+            yelt_by_layer=yelt_by_layer,
+            seconds=time.perf_counter() - t0,
+            details={
+                "layers": layer_details,
+                "h2d_bytes": gpu.transfers.h2d_bytes,
+                "d2h_bytes": gpu.transfers.d2h_bytes,
+                "launches": len(gpu.launch_log),
+            },
+        )

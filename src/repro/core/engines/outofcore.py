@@ -1,0 +1,92 @@
+"""Out-of-core engine: aggregate analysis over a disk-resident YET.
+
+At paper scale the YET does not fit memory; §II's scan-oriented remedy
+is to stream it.  This engine reads YET chunks from a
+:class:`~repro.data.store.ChunkStore` (one chunk resident at a time),
+applies lookup + occurrence terms per chunk, and accumulates the dense
+annual vector — which *does* fit memory (the whole point of the
+YLT-level representation).  Aggregate terms apply once at the end.
+
+It is not in the default registry because its input is a stored table
+rather than an in-memory :class:`YetTable`; use :meth:`run_from_store`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.engines.base import EngineResult
+from repro.core.portfolio import Portfolio
+from repro.core.tables import YltTable
+from repro.data.store import ChunkStore
+from repro.errors import EngineError
+
+__all__ = ["OutOfCoreEngine"]
+
+
+class OutOfCoreEngine:
+    """Streamed aggregate analysis over a stored YET."""
+
+    name = "outofcore"
+
+    def __init__(self, dense_max_entries: int = 4_000_000) -> None:
+        self.dense_max_entries = dense_max_entries
+
+    def run_from_store(
+        self,
+        portfolio: Portfolio,
+        store: ChunkStore,
+        table_name: str,
+        n_trials: int,
+    ) -> EngineResult:
+        """Run the analysis reading YET chunks from ``store``.
+
+        The stored table must have the YET schema (``trial``, ``seq``,
+        ``event_id``); rows may be split across chunks arbitrarily —
+        per-trial accumulation is order-insensitive.
+        """
+        if n_trials <= 0:
+            raise EngineError(f"n_trials must be positive, got {n_trials}")
+        t0 = time.perf_counter()
+
+        lookups = {
+            layer.layer_id: layer.lookup(dense_max_entries=self.dense_max_entries)
+            for layer in portfolio
+        }
+        annual = {
+            layer.layer_id: np.zeros(n_trials, dtype=np.float64)
+            for layer in portfolio
+        }
+        chunks_read = 0
+        rows_read = 0
+        for chunk in store.iter_chunks(table_name):
+            if "trial" not in chunk.schema or "event_id" not in chunk.schema:
+                raise EngineError(
+                    f"stored table {table_name!r} lacks YET columns"
+                )
+            trials = chunk["trial"]
+            events = chunk["event_id"]
+            if trials.size and (trials.min() < 0 or trials.max() >= n_trials):
+                raise EngineError("stored YET trial indices out of range")
+            chunks_read += 1
+            rows_read += chunk.n_rows
+            for layer in portfolio:
+                retained = layer.terms.apply_occurrence(
+                    lookups[layer.layer_id](events)
+                )
+                np.add.at(annual[layer.layer_id], trials, retained)
+
+        ylt_by_layer = {
+            lid: YltTable(portfolio.layer(lid).terms.apply_aggregate(vec))
+            for lid, vec in annual.items()
+        }
+        portfolio_ylt = YltTable.sum(list(ylt_by_layer.values()))
+        return EngineResult(
+            engine=self.name,
+            ylt_by_layer=ylt_by_layer,
+            portfolio_ylt=portfolio_ylt,
+            seconds=time.perf_counter() - t0,
+            details={"chunks_read": chunks_read, "rows_read": rows_read},
+        )

@@ -1,0 +1,73 @@
+"""The vectorised NumPy engine — the data-parallel path.
+
+This is the "GPU with everything in global memory" model of DESIGN.md:
+each layer is one fused sweep of whole-array operations — a gather for
+the ELT lookup, clipped subtraction for the occurrence terms, a bincount
+for the per-trial aggregation, and a second clipped subtraction for the
+aggregate terms.  One occurrence is one array lane, exactly as one CUDA
+thread handles one occurrence in the companion study.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.engines.base import Engine, EngineResult
+from repro.core.portfolio import Portfolio
+from repro.core.tables import YELT_SCHEMA, YeltTable, YetTable, YltTable
+from repro.data.columnar import ColumnTable
+
+__all__ = ["VectorizedEngine"]
+
+
+class VectorizedEngine(Engine):
+    """Whole-array aggregate analysis."""
+
+    name = "vectorized"
+
+    def __init__(self, dense_max_entries: int = 4_000_000) -> None:
+        self.dense_max_entries = dense_max_entries
+
+    def run(self, portfolio: Portfolio, yet: YetTable, *,
+            emit_yelt: bool = False) -> EngineResult:
+        self._validate(portfolio, yet)
+        t0 = time.perf_counter()
+
+        trials = yet.trials
+        event_ids = yet.event_ids
+        n_trials = yet.n_trials
+
+        ylt_by_layer: dict[int, YltTable] = {}
+        yelt_by_layer: dict[int, YeltTable] | None = {} if emit_yelt else None
+
+        for layer in portfolio:
+            lookup = layer.lookup(dense_max_entries=self.dense_max_entries)
+            losses = lookup(event_ids)                      # gather
+            retained = layer.terms.apply_occurrence(losses)  # occurrence terms
+            annual = np.bincount(trials, weights=retained, minlength=n_trials)
+            ylt = YltTable(layer.terms.apply_aggregate(annual))
+            ylt_by_layer[layer.layer_id] = ylt
+            if emit_yelt:
+                # One YELT row per *covered* occurrence (the layer's ELTs
+                # price the event), carrying the post-occurrence-terms
+                # loss — zero rows are real occurrences below retention.
+                covered = losses > 0.0
+                table = ColumnTable.from_arrays(
+                    YELT_SCHEMA,
+                    trial=trials[covered],
+                    event_id=event_ids[covered],
+                    loss=retained[covered],
+                )
+                yelt_by_layer[layer.layer_id] = YeltTable(table, n_trials)
+
+        portfolio_ylt = YltTable.sum(list(ylt_by_layer.values()))
+        return EngineResult(
+            engine=self.name,
+            ylt_by_layer=ylt_by_layer,
+            portfolio_ylt=portfolio_ylt,
+            yelt_by_layer=yelt_by_layer,
+            seconds=time.perf_counter() - t0,
+            details={"occurrences_processed": event_ids.size * portfolio.n_layers},
+        )

@@ -1,0 +1,88 @@
+"""Reinsurance layers: ELT sets under financial terms.
+
+A layer is the unit of aggregate analysis in the companion study [7]: a
+set of ELTs (the contracts ceded into the layer) priced together under
+occurrence/aggregate terms.  The layer's merged event-loss lookup is
+built lazily and cached — it is the array the device engine places in
+constant or global memory.
+"""
+
+from __future__ import annotations
+
+from repro.core.lookup import LossLookup
+from repro.core.tables import EltTable
+from repro.core.terms import LayerTerms
+from repro.errors import ConfigurationError
+
+__all__ = ["Layer"]
+
+
+class Layer:
+    """One reinsurance layer.
+
+    Parameters
+    ----------
+    layer_id:
+        Stable id; YLT outputs are keyed by it.
+    elts:
+        The ELTs ceded into this layer (at least one).
+    terms:
+        The layer's financial terms.
+    weights:
+        Optional per-ELT participation weights in the merged lookup.
+    """
+
+    __slots__ = ("layer_id", "elts", "terms", "weights", "_lookup",
+                 "_lookup_dense_max")
+
+    def __init__(self, layer_id: int, elts, terms: LayerTerms,
+                 weights=None) -> None:
+        elts = tuple(elts)
+        if not elts:
+            raise ConfigurationError("a layer needs at least one ELT")
+        for e in elts:
+            if not isinstance(e, EltTable):
+                raise ConfigurationError(f"expected EltTable, got {type(e).__name__}")
+        if layer_id < 0:
+            raise ConfigurationError("layer_id must be non-negative")
+        if weights is not None:
+            weights = tuple(float(w) for w in weights)
+            if len(weights) != len(elts):
+                raise ConfigurationError("one weight per ELT required")
+            if any(w <= 0 for w in weights):
+                raise ConfigurationError("ELT weights must be positive")
+        self.layer_id = int(layer_id)
+        self.elts = elts
+        self.terms = terms
+        self.weights = weights
+        self._lookup: LossLookup | None = None
+        self._lookup_dense_max: int | None = None
+
+    @property
+    def n_elts(self) -> int:
+        return len(self.elts)
+
+    @property
+    def n_events(self) -> int:
+        """Total ELT rows across the layer (with multiplicity)."""
+        return sum(e.n_events for e in self.elts)
+
+    def lookup(self, dense_max_entries: int = 4_000_000) -> LossLookup:
+        """Merged event-loss lookup (cached per ``dense_max_entries``)."""
+        if self._lookup is None or self._lookup_dense_max != dense_max_entries:
+            self._lookup = LossLookup.from_elts(
+                self.elts, weights=self.weights, dense_max_entries=dense_max_entries
+            )
+            self._lookup_dense_max = dense_max_entries
+        return self._lookup
+
+    def invalidate_lookup(self) -> None:
+        """Drop the cached lookup (after mutating an ELT in place)."""
+        self._lookup = None
+        self._lookup_dense_max = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Layer(id={self.layer_id}, n_elts={self.n_elts}, "
+            f"terms={self.terms!r})"
+        )

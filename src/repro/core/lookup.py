@@ -1,0 +1,146 @@
+"""Event-loss lookup structures.
+
+The inner operation of aggregate analysis is "given an event id, what
+loss does this layer's ELT set assign it?" executed ~10⁹ times per run.
+The companion study's key GPU optimisation is *where* this lookup table
+lives: a small dense table fits constant memory (broadcast-cached, fast);
+a large one must live in global memory (chunked).  :class:`LossLookup`
+abstracts the structure so engines can choose:
+
+- ``dense``: a direct-indexed array of length ``max_event_id + 1``
+  (missing events are 0) — O(1) gather, constant-memory candidate;
+- ``sparse``: sorted ids + ``searchsorted`` — O(log n) per probe, the
+  fallback when ids are sparse or the dense table would be huge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tables import EltTable
+from repro.errors import ConfigurationError
+
+__all__ = ["LossLookup"]
+
+
+class LossLookup:
+    """Vectorised ``event_id → loss`` map with dense and sparse layouts."""
+
+    __slots__ = ("kind", "_dense", "_ids", "_values")
+
+    def __init__(self, kind: str, dense: np.ndarray | None,
+                 ids: np.ndarray | None, values: np.ndarray | None) -> None:
+        if kind not in ("dense", "sparse"):
+            raise ConfigurationError(f"unknown lookup kind {kind!r}")
+        self.kind = kind
+        self._dense = dense
+        self._ids = ids
+        self._values = values
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_arrays(cls, event_ids: np.ndarray, values: np.ndarray,
+                    dense_max_entries: int = 4_000_000) -> "LossLookup":
+        """Build the best layout for the given id set.
+
+        A dense table is used when ``max_event_id`` is small enough that
+        the direct-index array stays under ``dense_max_entries`` slots.
+        """
+        event_ids = np.asarray(event_ids, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if event_ids.size == 0 or event_ids.shape != values.shape:
+            raise ConfigurationError("event_ids and values must be equal-length, non-empty")
+        if (event_ids < 0).any():
+            raise ConfigurationError("event ids must be non-negative")
+        order = np.argsort(event_ids)
+        ids_sorted = event_ids[order]
+        if np.any(np.diff(ids_sorted) == 0):
+            raise ConfigurationError("duplicate event ids in lookup")
+        vals_sorted = values[order]
+        max_id = int(ids_sorted[-1])
+        if max_id + 1 <= dense_max_entries:
+            dense = np.zeros(max_id + 1, dtype=np.float64)
+            dense[ids_sorted] = vals_sorted
+            return cls("dense", dense, ids_sorted, vals_sorted)
+        return cls("sparse", None, ids_sorted, vals_sorted)
+
+    @classmethod
+    def from_elt(cls, elt: EltTable, **kwargs) -> "LossLookup":
+        """Lookup over one ELT's mean losses."""
+        return cls.from_arrays(elt.event_ids, elt.mean_losses, **kwargs)
+
+    @classmethod
+    def from_elts(cls, elts, weights=None, **kwargs) -> "LossLookup":
+        """Merged lookup over several ELTs (losses summed per event).
+
+        A layer over multiple ELTs sees, for each event, the sum of the
+        (optionally weighted) ELT losses — the merge is precomputed here
+        once instead of per-occurrence in the engines.
+        """
+        elts = list(elts)
+        if not elts:
+            raise ConfigurationError("need at least one ELT")
+        if weights is None:
+            weights = [1.0] * len(elts)
+        if len(weights) != len(elts):
+            raise ConfigurationError("one weight per ELT required")
+        all_ids = np.concatenate([e.event_ids for e in elts])
+        all_vals = np.concatenate([
+            w * e.mean_losses for w, e in zip(weights, elts)
+        ])
+        uniq, inverse = np.unique(all_ids, return_inverse=True)
+        summed = np.zeros(uniq.size, dtype=np.float64)
+        np.add.at(summed, inverse, all_vals)
+        return cls.from_arrays(uniq, summed, **kwargs)
+
+    # -- access ----------------------------------------------------------------
+
+    def __call__(self, event_ids: np.ndarray) -> np.ndarray:
+        """Vectorised lookup; unknown ids map to loss 0."""
+        event_ids = np.asarray(event_ids, dtype=np.int64)
+        if self.kind == "dense":
+            dense = self._dense
+            clipped = np.clip(event_ids, 0, dense.size - 1)
+            out = dense[clipped]
+            # ids beyond the table are unknown events -> 0
+            out = np.where(event_ids < dense.size, out, 0.0)
+            return out
+        pos = np.searchsorted(self._ids, event_ids)
+        pos_clipped = np.minimum(pos, self._ids.size - 1)
+        hit = self._ids[pos_clipped] == event_ids
+        return np.where(hit, self._values[pos_clipped], 0.0)
+
+    def get_scalar(self, event_id: int) -> float:
+        """Scalar lookup (sequential-engine oracle path)."""
+        return float(self(np.array([event_id], dtype=np.int64))[0])
+
+    def as_dict(self) -> dict[int, float]:
+        """Materialise as a Python dict (pure-Python engine input)."""
+        return {int(i): float(v) for i, v in zip(self._ids, self._values)}
+
+    # -- placement metadata ---------------------------------------------------
+
+    @property
+    def table_array(self) -> np.ndarray:
+        """The array an engine would place in device memory."""
+        return self._dense if self.kind == "dense" else self._values
+
+    @property
+    def nbytes(self) -> int:
+        """Device bytes needed for this lookup's arrays."""
+        if self.kind == "dense":
+            return self._dense.nbytes
+        return self._ids.nbytes + self._values.nbytes
+
+    @property
+    def n_entries(self) -> int:
+        return self._ids.size
+
+    @property
+    def ids(self) -> np.ndarray:
+        return self._ids
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values

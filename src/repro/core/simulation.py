@@ -1,0 +1,105 @@
+"""The aggregate-analysis orchestrator.
+
+:class:`AggregateAnalysis` is the public entry point of stage 2: bind a
+portfolio to a YET, pick an engine (by name or instance), run, and get
+an :class:`AnalysisResult` that adds derived artefacts — per-layer and
+portfolio YLTs, optional YELTs, expected losses, and the size accounting
+(E1/E2) — on top of the raw engine output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engines import Engine, EngineResult, get_engine
+from repro.core.portfolio import Portfolio
+from repro.core.tables import YeltTable, YetTable, YltTable
+from repro.errors import EngineError
+
+__all__ = ["AnalysisResult", "AggregateAnalysis"]
+
+
+@dataclass
+class AnalysisResult:
+    """User-facing result of one aggregate analysis."""
+
+    engine: str
+    seconds: float
+    ylt_by_layer: dict[int, YltTable]
+    portfolio_ylt: YltTable
+    yelt_by_layer: dict[int, YeltTable] | None
+    details: dict
+
+    @classmethod
+    def from_engine(cls, res: EngineResult) -> "AnalysisResult":
+        return cls(
+            engine=res.engine,
+            seconds=res.seconds,
+            ylt_by_layer=res.ylt_by_layer,
+            portfolio_ylt=res.portfolio_ylt,
+            yelt_by_layer=res.yelt_by_layer,
+            details=res.details,
+        )
+
+    def expected_annual_loss(self) -> float:
+        """Portfolio pure premium: mean of the portfolio YLT."""
+        return self.portfolio_ylt.mean()
+
+    def layer_expected_losses(self) -> dict[int, float]:
+        return {lid: ylt.mean() for lid, ylt in self.ylt_by_layer.items()}
+
+    def trials_per_second(self) -> float:
+        if self.seconds <= 0:
+            raise EngineError("run recorded no elapsed time")
+        return self.portfolio_ylt.n_trials / self.seconds
+
+    def yelt_rows(self) -> int:
+        """Total YELT rows (0 when YELTs were not emitted)."""
+        if not self.yelt_by_layer:
+            return 0
+        return sum(y.n_rows for y in self.yelt_by_layer.values())
+
+
+class AggregateAnalysis:
+    """Binds a portfolio to a YET and runs engines over them.
+
+    Parameters
+    ----------
+    portfolio:
+        The book of layers to price.
+    yet:
+        The pre-simulated year-event table (the "consistent lens").
+    """
+
+    def __init__(self, portfolio: Portfolio, yet: YetTable) -> None:
+        if not isinstance(portfolio, Portfolio):
+            raise EngineError(f"expected Portfolio, got {type(portfolio).__name__}")
+        if not isinstance(yet, YetTable):
+            raise EngineError(f"expected YetTable, got {type(yet).__name__}")
+        self.portfolio = portfolio
+        self.yet = yet
+
+    def run(self, engine: str | Engine = "vectorized", *,
+            emit_yelt: bool = False, **engine_kwargs) -> AnalysisResult:
+        """Run the analysis on the chosen engine.
+
+        ``engine`` may be a registry name (``"sequential"``,
+        ``"vectorized"``, ``"device"``, ``"multicore"``, ``"mapreduce"``,
+        ``"distributed"``) or a pre-built :class:`Engine` instance;
+        ``engine_kwargs`` are passed to the registry constructor.
+        """
+        if isinstance(engine, str):
+            engine = get_engine(engine, **engine_kwargs)
+        elif engine_kwargs:
+            raise EngineError("engine_kwargs only apply when engine is a name")
+        res = engine.run(self.portfolio, self.yet, emit_yelt=emit_yelt)
+        return AnalysisResult.from_engine(res)
+
+    def run_all(self, names: list[str] | None = None) -> dict[str, AnalysisResult]:
+        """Run several engines on the same inputs (cross-validation aid)."""
+        from repro.core.engines import available_engines
+
+        results = {}
+        for name in names or available_engines():
+            results[name] = self.run(name)
+        return results

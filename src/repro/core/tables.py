@@ -1,0 +1,466 @@
+"""The pipeline's table types: ELT, YET, YELT, YLT, and the YELLT model.
+
+These are the "small number of very large tables" (§II) the whole paper
+is about.  Each type wraps a :class:`~repro.data.columnar.ColumnTable`
+with its schema, validation, and the accessors the engines need:
+
+- **ELT** (event-loss table): per-contract ``event_id → (mean_loss,
+  sigma)``; the output of stage 1 and the lookup input of stage 2.
+- **YET** (year-event table): the pre-simulated sequence of event
+  occurrences per trial year — "a consistent lens through which to view
+  results" (§II).
+- **YELT** (year-event-loss table): the stage-2 intermediate at event
+  granularity.
+- **YLT** (year-loss table): one annual loss per trial, the stage-2
+  output and stage-3 input.  Stored dense (length ``n_trials``).
+- **YELLT**: the location-granularity table that §II argues is too large
+  to materialise (>5×10¹⁶ entries at paper scale); represented here as an
+  analytic size model plus a small-scale materialiser for validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.columnar import ColumnTable
+from repro.data.schema import Schema
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ELT_SCHEMA",
+    "YET_SCHEMA",
+    "YELT_SCHEMA",
+    "YLT_SCHEMA",
+    "EltTable",
+    "YetTable",
+    "YeltTable",
+    "YltTable",
+    "YelltModel",
+]
+
+ELT_SCHEMA = Schema([
+    ("event_id", np.int64),
+    ("mean_loss", np.float64),
+    ("sigma", np.float64),  # secondary-uncertainty std-dev of the loss
+])
+
+YET_SCHEMA = Schema([
+    ("trial", np.int64),
+    ("seq", np.int32),       # occurrence order within the trial year
+    ("event_id", np.int64),
+])
+
+YELT_SCHEMA = Schema([
+    ("trial", np.int64),
+    ("event_id", np.int64),
+    ("loss", np.float64),
+])
+
+YLT_SCHEMA = Schema([
+    ("trial", np.int64),
+    ("loss", np.float64),
+])
+
+
+# ---------------------------------------------------------------------------
+# ELT
+# ---------------------------------------------------------------------------
+
+class EltTable:
+    """Event-loss table for one reinsurance contract.
+
+    Parameters
+    ----------
+    table:
+        Backing table with :data:`ELT_SCHEMA`; event ids must be unique
+        and non-negative, losses non-negative, sigmas non-negative.
+    contract_id:
+        Id of the contract this ELT prices.
+    """
+
+    __slots__ = ("table", "contract_id")
+
+    def __init__(self, table: ColumnTable, contract_id: int = 0) -> None:
+        if table.schema != ELT_SCHEMA:
+            raise ConfigurationError("ELT table must match ELT_SCHEMA")
+        ids = table["event_id"]
+        if ids.size == 0:
+            raise ConfigurationError("an ELT must contain at least one event")
+        if (ids < 0).any():
+            raise ConfigurationError("ELT event ids must be non-negative")
+        if np.unique(ids).size != ids.size:
+            raise ConfigurationError("ELT event ids must be unique")
+        if (table["mean_loss"] < 0).any():
+            raise ConfigurationError("ELT losses must be non-negative")
+        if (table["sigma"] < 0).any():
+            raise ConfigurationError("ELT sigmas must be non-negative")
+        self.table = table
+        self.contract_id = int(contract_id)
+
+    @classmethod
+    def from_arrays(cls, event_id, mean_loss, sigma=None, contract_id: int = 0) -> "EltTable":
+        """Build from parallel arrays (sigma defaults to zero)."""
+        event_id = np.asarray(event_id, dtype=np.int64)
+        mean_loss = np.asarray(mean_loss, dtype=np.float64)
+        if sigma is None:
+            sigma = np.zeros_like(mean_loss)
+        table = ColumnTable.from_arrays(
+            ELT_SCHEMA, event_id=event_id, mean_loss=mean_loss, sigma=sigma
+        )
+        return cls(table, contract_id)
+
+    @property
+    def n_events(self) -> int:
+        return self.table.n_rows
+
+    @property
+    def event_ids(self) -> np.ndarray:
+        return self.table["event_id"]
+
+    @property
+    def mean_losses(self) -> np.ndarray:
+        return self.table["mean_loss"]
+
+    @property
+    def sigmas(self) -> np.ndarray:
+        return self.table["sigma"]
+
+    @property
+    def max_event_id(self) -> int:
+        return int(self.event_ids.max())
+
+    @property
+    def nbytes(self) -> int:
+        return self.table.nbytes
+
+    def expected_annual_loss(self, rates: dict[int, float] | None = None) -> float:
+        """Pure expectation ``Σ rate·loss`` if per-event rates are known."""
+        if rates is None:
+            return float(self.mean_losses.sum())
+        lookup = np.array([rates.get(int(e), 0.0) for e in self.event_ids])
+        return float((lookup * self.mean_losses).sum())
+
+
+# ---------------------------------------------------------------------------
+# YET
+# ---------------------------------------------------------------------------
+
+class YetTable:
+    """Pre-simulated year-event table.
+
+    Rows are sorted by ``(trial, seq)``; ``n_trials`` is explicit because
+    trial years with zero occurrences are legal and must survive
+    round-trips (their annual loss is zero, which matters for quantiles).
+    """
+
+    __slots__ = ("table", "n_trials", "_offsets")
+
+    def __init__(self, table: ColumnTable, n_trials: int) -> None:
+        if table.schema != YET_SCHEMA:
+            raise ConfigurationError("YET table must match YET_SCHEMA")
+        if n_trials <= 0:
+            raise ConfigurationError(f"n_trials must be positive, got {n_trials}")
+        trials = table["trial"]
+        if trials.size:
+            if (trials < 0).any() or trials.max() >= n_trials:
+                raise ConfigurationError("YET trial indices out of range")
+            if (np.diff(trials) < 0).any():
+                raise ConfigurationError("YET rows must be sorted by trial")
+        self.table = table
+        self.n_trials = int(n_trials)
+        self._offsets: np.ndarray | None = None
+
+    @classmethod
+    def simulate(
+        cls,
+        event_ids: np.ndarray,
+        rates: np.ndarray,
+        n_trials: int,
+        rng: np.random.Generator,
+        mean_events_per_trial: float | None = None,
+    ) -> "YetTable":
+        """Monte-Carlo simulate the YET from catalogue occurrence rates.
+
+        Each trial year draws ``Poisson(Σ rates)`` occurrences; each
+        occurrence is an event sampled with probability proportional to
+        its rate.  ``mean_events_per_trial`` rescales the total rate,
+        which is how benches hit the companion study's ~1000
+        events/trial without a million-event catalogue.
+        """
+        event_ids = np.asarray(event_ids, dtype=np.int64)
+        rates = np.asarray(rates, dtype=np.float64)
+        if event_ids.size == 0 or event_ids.shape != rates.shape:
+            raise ConfigurationError("event_ids and rates must be equal-length, non-empty")
+        if (rates <= 0).any():
+            raise ConfigurationError("rates must be positive")
+        if n_trials <= 0:
+            raise ConfigurationError(f"n_trials must be positive, got {n_trials}")
+        total_rate = float(rates.sum())
+        lam = mean_events_per_trial if mean_events_per_trial is not None else total_rate
+        if lam <= 0:
+            raise ConfigurationError("mean_events_per_trial must be positive")
+        counts = rng.poisson(lam=lam, size=n_trials)
+        total = int(counts.sum())
+        # Inverse-CDF event sampling (faster than rng.choice with p=).
+        cdf = np.cumsum(rates)
+        cdf /= cdf[-1]
+        picks = np.searchsorted(cdf, rng.random(total), side="right")
+        trial = np.repeat(np.arange(n_trials, dtype=np.int64), counts)
+        # Sequence number within each trial: position minus trial start.
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        seq = (np.arange(total) - np.repeat(starts, counts)).astype(np.int32)
+        table = ColumnTable.from_arrays(
+            YET_SCHEMA, trial=trial, seq=seq, event_id=event_ids[picks]
+        )
+        return cls(table, n_trials)
+
+    @property
+    def n_occurrences(self) -> int:
+        return self.table.n_rows
+
+    @property
+    def trials(self) -> np.ndarray:
+        return self.table["trial"]
+
+    @property
+    def event_ids(self) -> np.ndarray:
+        return self.table["event_id"]
+
+    @property
+    def nbytes(self) -> int:
+        return self.table.nbytes
+
+    @property
+    def trial_offsets(self) -> np.ndarray:
+        """Offsets such that trial ``t`` occupies rows ``[o[t], o[t+1])``."""
+        if self._offsets is None:
+            self._offsets = np.searchsorted(
+                self.table["trial"], np.arange(self.n_trials + 1)
+            )
+        return self._offsets
+
+    def mean_events_per_trial(self) -> float:
+        return self.n_occurrences / self.n_trials
+
+    def slice_trials(self, t_start: int, t_stop: int) -> "YetTable":
+        """Sub-YET covering trials ``[t_start, t_stop)`` (renumbered to 0)."""
+        if not (0 <= t_start < t_stop <= self.n_trials):
+            raise ConfigurationError(
+                f"invalid trial range [{t_start}, {t_stop}) for {self.n_trials} trials"
+            )
+        o = self.trial_offsets
+        sub = self.table.slice(int(o[t_start]), int(o[t_stop]))
+        renumbered = ColumnTable.from_arrays(
+            YET_SCHEMA,
+            trial=sub["trial"] - t_start,
+            seq=sub["seq"],
+            event_id=sub["event_id"],
+        )
+        return YetTable(renumbered, t_stop - t_start)
+
+
+# ---------------------------------------------------------------------------
+# YELT
+# ---------------------------------------------------------------------------
+
+class YeltTable:
+    """Year-event-loss table (stage-2 intermediate)."""
+
+    __slots__ = ("table", "n_trials")
+
+    def __init__(self, table: ColumnTable, n_trials: int) -> None:
+        if table.schema != YELT_SCHEMA:
+            raise ConfigurationError("YELT table must match YELT_SCHEMA")
+        if n_trials <= 0:
+            raise ConfigurationError(f"n_trials must be positive, got {n_trials}")
+        trials = table["trial"]
+        if trials.size and ((trials < 0).any() or trials.max() >= n_trials):
+            raise ConfigurationError("YELT trial indices out of range")
+        self.table = table
+        self.n_trials = int(n_trials)
+
+    @property
+    def n_rows(self) -> int:
+        return self.table.n_rows
+
+    @property
+    def nbytes(self) -> int:
+        return self.table.nbytes
+
+    def total_loss(self) -> float:
+        return float(self.table["loss"].sum())
+
+    def to_ylt(self) -> "YltTable":
+        """Aggregate to a dense YLT (the ``groupby_sum`` of the pipeline).
+
+        Note this is the *pre-aggregate-terms* annual loss; engines apply
+        layer aggregate terms on top of this.
+        """
+        losses = np.zeros(self.n_trials, dtype=np.float64)
+        if self.table.n_rows:
+            np.add.at(losses, self.table["trial"], self.table["loss"])
+        return YltTable(losses)
+
+
+# ---------------------------------------------------------------------------
+# YLT
+# ---------------------------------------------------------------------------
+
+class YltTable:
+    """Dense year-loss table: ``losses[t]`` is trial ``t``'s annual loss."""
+
+    __slots__ = ("losses",)
+
+    def __init__(self, losses: np.ndarray) -> None:
+        losses = np.asarray(losses, dtype=np.float64)
+        if losses.ndim != 1 or losses.size == 0:
+            raise ConfigurationError("YLT losses must be a non-empty 1-D array")
+        if not np.isfinite(losses).all():
+            raise ConfigurationError("YLT losses must be finite")
+        if (losses < 0).any():
+            raise ConfigurationError("YLT losses must be non-negative")
+        self.losses = losses
+
+    @property
+    def n_trials(self) -> int:
+        return self.losses.size
+
+    @property
+    def nbytes(self) -> int:
+        return self.losses.nbytes
+
+    def mean(self) -> float:
+        """Expected annual loss (the pure premium)."""
+        return float(self.losses.mean())
+
+    def add(self, other: "YltTable") -> "YltTable":
+        """Trial-aligned (comonotonic-by-trial) combination."""
+        if other.n_trials != self.n_trials:
+            raise ConfigurationError(
+                f"cannot add YLTs with {self.n_trials} and {other.n_trials} trials"
+            )
+        return YltTable(self.losses + other.losses)
+
+    @classmethod
+    def zeros(cls, n_trials: int) -> "YltTable":
+        if n_trials <= 0:
+            raise ConfigurationError(f"n_trials must be positive, got {n_trials}")
+        return cls(np.zeros(n_trials, dtype=np.float64))
+
+    @classmethod
+    def sum(cls, ylts: list["YltTable"]) -> "YltTable":
+        if not ylts:
+            raise ConfigurationError("cannot sum an empty list of YLTs")
+        acc = ylts[0]
+        for y in ylts[1:]:
+            acc = acc.add(y)
+        return acc
+
+    def to_table(self) -> ColumnTable:
+        """Export as a (trial, loss) column table."""
+        return ColumnTable.from_arrays(
+            YLT_SCHEMA,
+            trial=np.arange(self.n_trials, dtype=np.int64),
+            loss=self.losses,
+        )
+
+    @classmethod
+    def from_table(cls, table: ColumnTable, n_trials: int) -> "YltTable":
+        """Import from a sparse (trial, loss) table (missing trials = 0)."""
+        if table.schema != YLT_SCHEMA:
+            raise ConfigurationError("YLT table must match YLT_SCHEMA")
+        losses = np.zeros(n_trials, dtype=np.float64)
+        trials = table["trial"]
+        if trials.size:
+            if (trials < 0).any() or trials.max() >= n_trials:
+                raise ConfigurationError("YLT trial indices out of range")
+            np.add.at(losses, trials, table["loss"])
+        return cls(losses)
+
+    def allclose(self, other: "YltTable", rtol: float = 1e-9, atol: float = 1e-6) -> bool:
+        return (
+            self.n_trials == other.n_trials
+            and bool(np.allclose(self.losses, other.losses, rtol=rtol, atol=atol))
+        )
+
+
+# ---------------------------------------------------------------------------
+# YELLT size model
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class YelltModel:
+    """Analytic size model for the location-level loss table (E1/E2).
+
+    §II: "if an analysis of 10,000 contracts for 100,000 events in 1,000
+    locations with 50,000 trial years is considered, the Year-Event-
+    Location-Loss Table (YELLT) has over 5×10¹⁶ entries" — i.e. the paper
+    accounts the YELLT as the full cross product.  The model exposes both
+    that accounting and the occurrence-based one (rows that would actually
+    materialise given a mean events-per-trial), plus the derived
+    YELT/YLT sizes whose ~1000× ratios §II quotes.
+    """
+
+    n_contracts: int
+    n_events: int
+    n_locations: int
+    n_trials: int
+    mean_events_per_trial: float = 1000.0
+
+    def __post_init__(self):
+        for name in ("n_contracts", "n_events", "n_locations", "n_trials"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.mean_events_per_trial <= 0:
+            raise ConfigurationError("mean_events_per_trial must be positive")
+
+    @classmethod
+    def paper_scale(cls) -> "YelltModel":
+        """The exact parameters quoted in §II."""
+        return cls(n_contracts=10_000, n_events=100_000, n_locations=1_000,
+                   n_trials=50_000)
+
+    # -- the paper's cross-product accounting ------------------------------
+
+    def yellt_entries(self) -> float:
+        """Entries by the paper's accounting (contracts×events×locations×trials)."""
+        return (
+            float(self.n_contracts) * self.n_events * self.n_locations * self.n_trials
+        )
+
+    def yelt_entries(self) -> float:
+        """YELT = YELLT marginalised over locations (÷ n_locations)."""
+        return self.yellt_entries() / self.n_locations
+
+    def ylt_entries(self) -> float:
+        """YLT = YELT aggregated over the year's events.
+
+        The §II rule of thumb ("1000 times smaller") corresponds to the
+        mean number of event occurrences per trial year.
+        """
+        return self.yelt_entries() / self.mean_events_per_trial
+
+    # -- occurrence-based accounting ----------------------------------------
+
+    def yellt_rows_materialised(self) -> float:
+        """Rows a YELLT materialisation would actually hold: one row per
+        (trial, occurrence, location, contract) with non-zero loss bound."""
+        return (
+            float(self.n_trials) * self.mean_events_per_trial
+            * self.n_locations * self.n_contracts
+        )
+
+    def bytes_at(self, entries: float, row_bytes: int = 8) -> float:
+        """Size in bytes at ``row_bytes`` per entry (8 = one f8 loss)."""
+        if row_bytes <= 0:
+            raise ConfigurationError("row_bytes must be positive")
+        return entries * row_bytes
+
+    def ratios(self) -> dict[str, float]:
+        """The two §II size ratios."""
+        return {
+            "yellt_over_yelt": self.yellt_entries() / self.yelt_entries(),
+            "yelt_over_ylt": self.yelt_entries() / self.ylt_entries(),
+        }

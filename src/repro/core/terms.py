@@ -1,0 +1,96 @@
+"""Layer financial terms: the contract arithmetic of aggregate analysis.
+
+Following the companion study [7], a reinsurance layer applies two
+nested sets of terms to the event losses a trial year produces:
+
+1. **Occurrence terms** per event occurrence: retention (deductible) and
+   limit — ``l' = min(max(l - occ_retention, 0), occ_limit)``;
+2. **Aggregate terms** per trial year on the sum of retained occurrence
+   losses — ``L' = min(max(Σl' - agg_retention, 0), agg_limit)``;
+
+then the cedant's **participation** share scales the result.  These three
+steps are what every engine implements, so they live here once, in both
+vectorised and scalar forms, and the scalar form is the oracle the
+property tests check the engines against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LayerTerms"]
+
+
+@dataclass(frozen=True)
+class LayerTerms:
+    """Financial terms of one reinsurance layer.
+
+    Attributes
+    ----------
+    occ_retention:
+        Per-occurrence retention (attachment point).  Losses below it are
+        retained by the cedant.
+    occ_limit:
+        Per-occurrence limit of the layer (``inf`` = unlimited).
+    agg_retention:
+        Annual aggregate retention applied to the year's retained sum.
+    agg_limit:
+        Annual aggregate limit (``inf`` = unlimited).
+    participation:
+        Share of the layer assumed by the reinsurer, in ``(0, 1]``.
+    """
+
+    occ_retention: float = 0.0
+    occ_limit: float = math.inf
+    agg_retention: float = 0.0
+    agg_limit: float = math.inf
+    participation: float = 1.0
+
+    def __post_init__(self):
+        if self.occ_retention < 0 or math.isnan(self.occ_retention):
+            raise ConfigurationError("occ_retention must be non-negative")
+        if self.agg_retention < 0 or math.isnan(self.agg_retention):
+            raise ConfigurationError("agg_retention must be non-negative")
+        if self.occ_limit <= 0 or math.isnan(self.occ_limit):
+            raise ConfigurationError("occ_limit must be positive (inf allowed)")
+        if self.agg_limit <= 0 or math.isnan(self.agg_limit):
+            raise ConfigurationError("agg_limit must be positive (inf allowed)")
+        if not (0.0 < self.participation <= 1.0):
+            raise ConfigurationError("participation must lie in (0, 1]")
+
+    # -- vectorised forms (engines) ---------------------------------------
+
+    def apply_occurrence(self, losses: np.ndarray) -> np.ndarray:
+        """Occurrence terms over an array of event losses."""
+        out = np.asarray(losses, dtype=np.float64) - self.occ_retention
+        np.clip(out, 0.0, self.occ_limit, out=out)
+        return out
+
+    def apply_aggregate(self, annual: np.ndarray) -> np.ndarray:
+        """Aggregate terms + participation over per-trial annual sums."""
+        out = np.asarray(annual, dtype=np.float64) - self.agg_retention
+        np.clip(out, 0.0, self.agg_limit, out=out)
+        out *= self.participation
+        return out
+
+    # -- scalar oracle (tests, sequential engine) ----------------------------
+
+    def occurrence_scalar(self, loss: float) -> float:
+        """Scalar occurrence terms (pure Python)."""
+        return min(max(loss - self.occ_retention, 0.0), self.occ_limit)
+
+    def aggregate_scalar(self, annual: float) -> float:
+        """Scalar aggregate terms + participation (pure Python)."""
+        return min(max(annual - self.agg_retention, 0.0), self.agg_limit) * self.participation
+
+    def trial_loss_scalar(self, event_losses) -> float:
+        """Full layer arithmetic for one trial year (pure Python oracle)."""
+        total = 0.0
+        for loss in event_losses:
+            total += self.occurrence_scalar(float(loss))
+        return self.aggregate_scalar(total)

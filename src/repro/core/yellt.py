@@ -1,0 +1,149 @@
+"""YELLT materialisation — the table §II says is too big to build.
+
+The Year-Event-Location-Loss Table carries the location dimension that
+the YELT marginalises away.  At paper scale it has 5×10¹⁶ entries
+(:class:`~repro.core.tables.YelltModel`); at bench scale we *can*
+materialise it, which lets the size law and the marginalisation algebra
+be validated on real rows instead of trusted arithmetic:
+
+- :func:`materialize_yellt` joins a YET's occurrence stream against an
+  event-location loss table (ELLT, the stage-1 site-level output);
+- :func:`yellt_to_yelt` marginalises locations (must conserve loss);
+- the row-count ratio YELLT/YELT equals the mean locations hit per
+  event — the paper's "~1000×" factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tables import YELT_SCHEMA, YeltTable, YetTable
+from repro.data.columnar import ColumnTable
+from repro.data.schema import Schema
+from repro.errors import ConfigurationError
+
+__all__ = ["ELL_SCHEMA", "YELLT_SCHEMA", "YelltTable", "materialize_yellt",
+           "yellt_to_yelt"]
+
+#: Event-location-loss table (stage-1 site-level output for one contract).
+ELL_SCHEMA = Schema([
+    ("event_id", np.int64),
+    ("location_id", np.int64),
+    ("loss", np.float64),
+])
+
+#: The materialised YELLT.
+YELLT_SCHEMA = Schema([
+    ("trial", np.int64),
+    ("event_id", np.int64),
+    ("location_id", np.int64),
+    ("loss", np.float64),
+])
+
+
+class YelltTable:
+    """A materialised (small-scale) YELLT."""
+
+    __slots__ = ("table", "n_trials")
+
+    def __init__(self, table: ColumnTable, n_trials: int) -> None:
+        if table.schema != YELLT_SCHEMA:
+            raise ConfigurationError("YELLT table must match YELLT_SCHEMA")
+        if n_trials <= 0:
+            raise ConfigurationError(f"n_trials must be positive, got {n_trials}")
+        trials = table["trial"]
+        if trials.size and ((trials < 0).any() or trials.max() >= n_trials):
+            raise ConfigurationError("YELLT trial indices out of range")
+        self.table = table
+        self.n_trials = int(n_trials)
+
+    @property
+    def n_rows(self) -> int:
+        return self.table.n_rows
+
+    @property
+    def nbytes(self) -> int:
+        return self.table.nbytes
+
+    def total_loss(self) -> float:
+        return float(self.table["loss"].sum())
+
+
+def materialize_yellt(
+    yet: YetTable,
+    ell: ColumnTable,
+    max_rows: int = 50_000_000,
+) -> YelltTable:
+    """Join the YET occurrence stream against an event-location table.
+
+    Every occurrence of event *e* in a trial produces one YELLT row per
+    location with non-zero loss for *e*.  ``max_rows`` guards against
+    accidentally requesting a paper-scale materialisation — the very
+    operation §II warns about — with an informative error instead of an
+    OOM kill.
+    """
+    if ell.schema != ELL_SCHEMA:
+        raise ConfigurationError("event-location table must match ELL_SCHEMA")
+    # Sort the ELL by event and build per-event row spans.
+    order = np.argsort(ell["event_id"], kind="stable")
+    ev_sorted = ell["event_id"][order]
+    loc_sorted = ell["location_id"][order]
+    loss_sorted = ell["loss"][order]
+
+    occ_events = yet.event_ids
+    span_start = np.searchsorted(ev_sorted, occ_events, side="left")
+    span_stop = np.searchsorted(ev_sorted, occ_events, side="right")
+    counts = span_stop - span_start
+    total = int(counts.sum())
+    if total > max_rows:
+        raise ConfigurationError(
+            f"materialising this YELLT needs {total:,} rows "
+            f"(> max_rows={max_rows:,}); §II's point exactly — raise "
+            "max_rows only if you mean it"
+        )
+
+    # Expand: for occurrence i, rows span_start[i]..span_stop[i] of the
+    # sorted ELL, tagged with the occurrence's trial.
+    nonzero = counts > 0
+    idx_base = np.repeat(span_start[nonzero], counts[nonzero])
+    # within-group offsets 0..count-1 per occurrence
+    cum = np.concatenate(([0], np.cumsum(counts[nonzero])))[:-1]
+    offsets = np.arange(total) - np.repeat(cum, counts[nonzero])
+    gather = idx_base + offsets
+
+    table = ColumnTable.from_arrays(
+        YELLT_SCHEMA,
+        trial=np.repeat(yet.trials[nonzero], counts[nonzero]),
+        event_id=np.repeat(occ_events[nonzero], counts[nonzero]),
+        location_id=loc_sorted[gather],
+        loss=loss_sorted[gather],
+    )
+    return YelltTable(table, yet.n_trials)
+
+
+def yellt_to_yelt(yellt: YelltTable) -> YeltTable:
+    """Marginalise the location dimension (sum per trial-event run).
+
+    Loss is conserved exactly: ``yelt.total_loss() == yellt.total_loss()``.
+    Consecutive occurrences of the *same* event within a trial merge into
+    one YELT row (the YELLT carries no occurrence-sequence column, so
+    they are indistinguishable) — the standard (year, event)-granularity
+    YELT convention.
+    """
+    t = yellt.table
+    if t.n_rows == 0:
+        return YeltTable(ColumnTable(YELT_SCHEMA), yellt.n_trials)
+    # Rows for one (trial, occurrence) are contiguous by construction;
+    # detect run boundaries on the (trial, event) pair.
+    trial = t["trial"]
+    event = t["event_id"]
+    change = (np.diff(trial) != 0) | (np.diff(event) != 0)
+    starts = np.concatenate(([0], np.nonzero(change)[0] + 1))
+    sums = np.add.reduceat(t["loss"], starts)
+    table = ColumnTable.from_arrays(
+        YELT_SCHEMA,
+        trial=trial[starts],
+        event_id=event[starts],
+        loss=sums,
+    )
+    return YeltTable(table, yellt.n_trials)

@@ -1,0 +1,57 @@
+"""Data-management substrate.
+
+The paper's key observation is that *"traditional relational databases are
+of limited use for efficiently implementing the risk analytics pipeline"*:
+pipeline data must be organised in *"a small number of very large tables
+and streamed by independent processes"* (§II), scanned rather than randomly
+accessed.  This package provides both sides of that comparison plus the
+"large distributed file space" alternative:
+
+- :mod:`repro.data.columnar` / :mod:`repro.data.chunk` /
+  :mod:`repro.data.stream` — the scan-oriented columnar path the paper
+  advocates;
+- :mod:`repro.data.btree` / :mod:`repro.data.rdbms` — a deliberately
+  traditional row store with B+-tree indexing, used as the random-access
+  baseline (experiment E6);
+- :mod:`repro.data.dfs` / :mod:`repro.data.mapreduce` — a simulated
+  distributed file system and a MapReduce engine over it (experiment E7);
+- :mod:`repro.data.warehouse` — parallel data-warehouse pre-aggregation for
+  stage-3 analytics (experiment E10).
+"""
+
+from repro.data.schema import Field, Schema
+from repro.data.columnar import ColumnTable
+from repro.data.chunk import ChunkSpec, iter_chunks, plan_chunks
+from repro.data.stream import TableScan
+from repro.data.btree import BPlusTree
+from repro.data.rdbms import RowStore
+from repro.data.dfs import SimDfs
+from repro.data.mapreduce import MapReduceJob, MapReduceRuntime
+from repro.data.warehouse import LossCube
+from repro.data.csv_io import read_csv, write_csv
+from repro.data.compression import (
+    compression_ratio,
+    pack_table_compressed,
+    unpack_table_compressed,
+)
+
+__all__ = [
+    "Field",
+    "Schema",
+    "ColumnTable",
+    "ChunkSpec",
+    "iter_chunks",
+    "plan_chunks",
+    "TableScan",
+    "BPlusTree",
+    "RowStore",
+    "SimDfs",
+    "MapReduceJob",
+    "MapReduceRuntime",
+    "LossCube",
+    "read_csv",
+    "write_csv",
+    "compression_ratio",
+    "pack_table_compressed",
+    "unpack_table_compressed",
+]

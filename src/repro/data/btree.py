@@ -1,0 +1,174 @@
+"""A B+-tree index — the heart of the "traditional database" baseline.
+
+The paper argues traditional relational engines fit this pipeline poorly
+because their access path is index-driven random access (§II).  To measure
+that claim rather than assert it, experiment E6 needs a faithful
+random-access baseline: this is a textbook in-memory B+-tree with fixed
+fan-out, key-ordered leaf chaining for range scans, and node-visit
+accounting so benches can report logical I/O alongside wall time.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ConfigurationError, StorageError
+
+__all__ = ["BPlusTree"]
+
+
+@dataclass
+class _Node:
+    leaf: bool
+    keys: list = field(default_factory=list)
+    # Internal nodes: children[i] subtends keys < keys[i] (rightmost child
+    # subtends the rest).  Leaves: values[i] pairs with keys[i].
+    children: list = field(default_factory=list)
+    values: list = field(default_factory=list)
+    next_leaf: "_Node | None" = None
+
+
+class BPlusTree:
+    """In-memory B+-tree mapping integer keys to arbitrary values.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of keys per node (≥ 3).  Real engines use page-sized
+        nodes; the default of 64 models a few hundred bytes per entry on a
+        classic 8 KiB page.
+
+    Notes
+    -----
+    ``node_visits`` counts every node touched by a lookup, insert, or scan;
+    it is the logical-I/O measure experiment E6 reports.
+    """
+
+    def __init__(self, order: int = 64) -> None:
+        if order < 3:
+            raise ConfigurationError(f"B+-tree order must be >= 3, got {order}")
+        self.order = order
+        self._root: _Node = _Node(leaf=True)
+        self._size = 0
+        self.node_visits = 0
+        self._height = 1
+
+    # -- public API ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def insert(self, key: int, value) -> None:
+        """Insert or overwrite ``key``."""
+        root = self._root
+        split = self._insert(root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Node(leaf=False, keys=[sep], children=[root, right])
+            self._root = new_root
+            self._height += 1
+
+    def get(self, key: int):
+        """Return the value for ``key``; raise ``StorageError`` if absent."""
+        node = self._root
+        while True:
+            self.node_visits += 1
+            if node.leaf:
+                i = bisect.bisect_left(node.keys, key)
+                if i < len(node.keys) and node.keys[i] == key:
+                    return node.values[i]
+                raise StorageError(f"key {key!r} not found")
+            i = bisect.bisect_right(node.keys, key)
+            node = node.children[i]
+
+    def contains(self, key: int) -> bool:
+        try:
+            self.get(key)
+            return True
+        except StorageError:
+            return False
+
+    def range_scan(self, lo: int, hi: int) -> Iterator[tuple[int, object]]:
+        """Yield ``(key, value)`` for ``lo <= key <= hi`` in key order."""
+        node = self._root
+        while not node.leaf:
+            self.node_visits += 1
+            i = bisect.bisect_right(node.keys, lo)
+            node = node.children[i]
+        while node is not None:
+            self.node_visits += 1
+            for i, k in enumerate(node.keys):
+                if k > hi:
+                    return
+                if k >= lo:
+                    yield k, node.values[i]
+            node = node.next_leaf
+
+    def items(self) -> Iterator[tuple[int, object]]:
+        """Full key-ordered iteration."""
+        node = self._root
+        while not node.leaf:
+            self.node_visits += 1
+            node = node.children[0]
+        while node is not None:
+            self.node_visits += 1
+            yield from zip(node.keys, node.values)
+            node = node.next_leaf
+
+    # -- internals ----------------------------------------------------------
+
+    def _insert(self, node: _Node, key: int, value):
+        """Recursive insert; returns ``(separator, new_right)`` on split."""
+        self.node_visits += 1
+        if node.leaf:
+            i = bisect.bisect_left(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                node.values[i] = value
+                return None
+            node.keys.insert(i, key)
+            node.values.insert(i, value)
+            self._size += 1
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        i = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[i], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(i, sep)
+        node.children.insert(i + 1, right)
+        if len(node.keys) > self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node):
+        mid = len(node.keys) // 2
+        right = _Node(
+            leaf=True,
+            keys=node.keys[mid:],
+            values=node.values[mid:],
+            next_leaf=node.next_leaf,
+        )
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node):
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(
+            leaf=False,
+            keys=node.keys[mid + 1:],
+            children=node.children[mid + 1:],
+        )
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right

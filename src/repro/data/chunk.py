@@ -1,0 +1,70 @@
+"""Chunk planning and iteration over large tables.
+
+"The management of large data in memory employs the notion of chunking"
+(§II).  A chunk plan divides a row range into contiguous spans that each
+fit a byte budget — the same computation the simulated GPU's chunk planner
+performs against device memory (:mod:`repro.hpc.chunking`), reused here
+for host-side streaming scans and for DFS block sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.data.columnar import ColumnTable
+from repro.errors import ConfigurationError
+
+__all__ = ["ChunkSpec", "plan_chunks", "iter_chunks"]
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """A half-open row span ``[start, stop)`` within a table."""
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def n_rows(self) -> int:
+        return self.stop - self.start
+
+
+def plan_chunks(n_rows: int, rows_per_chunk: int) -> list[ChunkSpec]:
+    """Split ``n_rows`` into consecutive chunks of ``rows_per_chunk``.
+
+    The plan always covers ``[0, n_rows)`` exactly: chunks are disjoint,
+    ordered, and the final chunk may be short.  An empty table yields an
+    empty plan.
+    """
+    if rows_per_chunk <= 0:
+        raise ConfigurationError(f"rows_per_chunk must be positive, got {rows_per_chunk}")
+    if n_rows < 0:
+        raise ConfigurationError(f"n_rows must be non-negative, got {n_rows}")
+    specs = []
+    start = 0
+    index = 0
+    while start < n_rows:
+        stop = min(start + rows_per_chunk, n_rows)
+        specs.append(ChunkSpec(index, start, stop))
+        start = stop
+        index += 1
+    return specs
+
+
+def rows_for_budget(row_bytes: int, budget_bytes: int) -> int:
+    """Largest row count whose packed size fits ``budget_bytes`` (≥1)."""
+    if row_bytes <= 0:
+        raise ConfigurationError(f"row_bytes must be positive, got {row_bytes}")
+    if budget_bytes < row_bytes:
+        raise ConfigurationError(
+            f"budget of {budget_bytes} B cannot hold a single {row_bytes} B row"
+        )
+    return budget_bytes // row_bytes
+
+
+def iter_chunks(table: ColumnTable, rows_per_chunk: int) -> Iterator[tuple[ChunkSpec, ColumnTable]]:
+    """Yield ``(spec, zero-copy slice)`` pairs covering ``table``."""
+    for spec in plan_chunks(table.n_rows, rows_per_chunk):
+        yield spec, table.slice(spec.start, spec.stop)

@@ -1,0 +1,97 @@
+"""CSV interchange for the pipeline tables.
+
+Production risk systems exchange ELTs and YLTs as delimited files (the
+paper's "exposure databases" and "event loss tables" arrive from
+modelling vendors).  This module reads/writes :class:`ColumnTable`
+objects against CSV with schema-driven parsing — no pandas dependency,
+streaming-friendly, and strict about malformed rows (silent coercion of
+a loss column is how portfolios end up mispriced).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.columnar import ColumnTable
+from repro.data.schema import Schema
+from repro.errors import SchemaError, StorageError
+
+__all__ = ["write_csv", "read_csv", "table_to_csv_text", "table_from_csv_text"]
+
+
+def table_to_csv_text(table: ColumnTable) -> str:
+    """Render a table as CSV text (header row + one line per record)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(table.schema.names)
+    columns = [table[name] for name in table.schema.names]
+    for i in range(table.n_rows):
+        writer.writerow([_render(col[i]) for col in columns])
+    return buf.getvalue()
+
+
+def _render(value) -> str:
+    if isinstance(value, np.floating):
+        return repr(float(value))
+    return str(value)
+
+
+def table_from_csv_text(text: str, schema: Schema) -> ColumnTable:
+    """Parse CSV text against ``schema`` (header must match exactly)."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise StorageError("empty CSV input") from None
+    if tuple(header) != schema.names:
+        raise SchemaError(
+            f"CSV header {header} does not match schema {list(schema.names)}"
+        )
+    raw_rows = list(reader)
+    columns = {name: [] for name in schema.names}
+    for lineno, row in enumerate(raw_rows, start=2):
+        if len(row) != len(schema):
+            raise StorageError(
+                f"CSV line {lineno}: expected {len(schema)} fields, got {len(row)}"
+            )
+        for field, cell in zip(schema, row):
+            columns[field.name].append(cell)
+    out = {}
+    for field in schema:
+        try:
+            if np.issubdtype(field.dtype, np.integer):
+                out[field.name] = np.array(
+                    [int(c) for c in columns[field.name]], dtype=field.dtype
+                )
+            elif np.issubdtype(field.dtype, np.floating):
+                out[field.name] = np.array(
+                    [float(c) for c in columns[field.name]], dtype=field.dtype
+                )
+            else:
+                raise SchemaError(
+                    f"CSV interchange supports numeric columns only, "
+                    f"{field.name!r} is {field.dtype}"
+                )
+        except ValueError as exc:
+            raise StorageError(
+                f"CSV column {field.name!r}: unparseable value ({exc})"
+            ) from exc
+    return ColumnTable.from_arrays(schema, **out)
+
+
+def write_csv(table: ColumnTable, path: str | os.PathLike) -> None:
+    """Write a table to a CSV file."""
+    Path(path).write_text(table_to_csv_text(table), encoding="utf-8")
+
+
+def read_csv(path: str | os.PathLike, schema: Schema) -> ColumnTable:
+    """Read a CSV file against a schema."""
+    p = Path(path)
+    if not p.exists():
+        raise StorageError(f"no such file: {p}")
+    return table_from_csv_text(p.read_text(encoding="utf-8"), schema)

@@ -1,0 +1,67 @@
+"""Key partitioners for the shuffle phase of MapReduce.
+
+A partitioner maps a key to a reducer bucket in ``[0, n_reducers)``.  The
+hash partitioner is the Hadoop default; the range partitioner (built from
+a key sample) produces globally sorted output across reducers, which the
+warehouse layer uses when materialising sorted loss vectors.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.util.rng import stable_hash64
+
+__all__ = ["hash_partition", "RangePartitioner"]
+
+
+def hash_partition(key, n_buckets: int) -> int:
+    """Stable hash partitioning (process-independent, unlike ``hash``)."""
+    if n_buckets <= 0:
+        raise ConfigurationError(f"n_buckets must be positive, got {n_buckets}")
+    return stable_hash64(repr(key)) % n_buckets
+
+
+class RangePartitioner:
+    """Partition ordered keys into contiguous ranges.
+
+    Parameters
+    ----------
+    boundaries:
+        Sorted cut points; bucket ``i`` receives keys in
+        ``(boundaries[i-1], boundaries[i]]`` with open ends at the extremes.
+    """
+
+    def __init__(self, boundaries: Sequence) -> None:
+        bounds = list(boundaries)
+        if sorted(bounds) != bounds:
+            raise ConfigurationError("range boundaries must be sorted")
+        self.boundaries = bounds
+
+    @classmethod
+    def from_sample(cls, sample: Sequence, n_buckets: int) -> "RangePartitioner":
+        """Choose boundaries as evenly spaced quantiles of a key sample."""
+        if n_buckets <= 0:
+            raise ConfigurationError(f"n_buckets must be positive, got {n_buckets}")
+        ordered = sorted(sample)
+        if not ordered:
+            return cls([])
+        bounds = [
+            ordered[min(len(ordered) - 1, (i + 1) * len(ordered) // n_buckets)]
+            for i in range(n_buckets - 1)
+        ]
+        return cls(bounds)
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.boundaries) + 1
+
+    def __call__(self, key, n_buckets: int | None = None) -> int:
+        bucket = bisect_right(self.boundaries, key)
+        if n_buckets is not None and bucket >= n_buckets:
+            raise ConfigurationError(
+                f"partitioner built for {self.n_buckets} buckets, asked for {n_buckets}"
+            )
+        return bucket

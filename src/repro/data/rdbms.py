@@ -1,0 +1,165 @@
+"""A deliberately traditional row-oriented store (the E6 baseline).
+
+This models the data layer of the "existing portfolio management tools"
+the paper says cannot analyse at YELT scale (§II): rows packed into
+fixed-size pages, a B+-tree primary index, and a per-row random-access
+path.  The point is not to be slow on purpose — pages and the index are
+implemented straightforwardly — but to expose the *access pattern* the
+paper criticises: key-at-a-time lookups touching O(log n) index nodes and
+one page per probe, versus the columnar scan's sequential sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.btree import BPlusTree
+from repro.data.columnar import ColumnTable
+from repro.data.schema import Schema
+from repro.errors import ConfigurationError, StorageError
+
+__all__ = ["PageStats", "RowStore"]
+
+
+@dataclass
+class PageStats:
+    """Logical-I/O counters for a :class:`RowStore`."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+
+    def reset(self) -> None:
+        self.page_reads = 0
+        self.page_writes = 0
+
+
+class RowStore:
+    """Row-oriented table with a B+-tree primary-key index.
+
+    Parameters
+    ----------
+    schema:
+        Row schema; one field must be named as the primary ``key``.
+    key:
+        Name of the integer primary-key column.
+    page_rows:
+        Rows per page; models an 8 KiB page holding fixed-width records.
+    """
+
+    def __init__(self, schema: Schema, key: str, page_rows: int = 128) -> None:
+        if key not in schema:
+            raise ConfigurationError(f"key column {key!r} not in schema")
+        if not np.issubdtype(schema[key].dtype, np.integer):
+            raise ConfigurationError("primary key must be an integer column")
+        if page_rows <= 0:
+            raise ConfigurationError(f"page_rows must be positive, got {page_rows}")
+        self.schema = schema
+        self.key = key
+        self.page_rows = page_rows
+        self._struct_dtype = schema.to_struct_dtype()
+        self._pages: list[np.ndarray] = []
+        self._fill: int = 0  # rows used in the last page
+        self._index = BPlusTree(order=64)
+        self.stats = PageStats()
+
+    # -- loading -------------------------------------------------------------
+
+    def insert_row(self, **fields) -> None:
+        """Insert one row (dict of column values)."""
+        record = np.zeros(1, dtype=self._struct_dtype)
+        for name in self.schema.names:
+            if name not in fields:
+                raise StorageError(f"missing field {name!r}")
+            record[name] = fields[name]
+        key = int(fields[self.key])
+        if self._index.contains(key):
+            raise StorageError(f"duplicate primary key {key}")
+        if not self._pages or self._fill == self.page_rows:
+            self._pages.append(np.zeros(self.page_rows, dtype=self._struct_dtype))
+            self._fill = 0
+        page_no = len(self._pages) - 1
+        slot = self._fill
+        self._pages[page_no][slot] = record[0]
+        self._fill += 1
+        self.stats.page_writes += 1
+        self._index.insert(key, (page_no, slot))
+
+    def bulk_load(self, table: ColumnTable) -> None:
+        """Load every row of a columnar table (row-at-a-time, as an OLTP
+        engine would during ETL)."""
+        if table.schema != self.schema:
+            raise StorageError("table schema does not match store schema")
+        struct = table.to_struct_array()
+        for i in range(table.n_rows):
+            row = struct[i]
+            self._insert_struct_row(row)
+
+    def _insert_struct_row(self, row: np.void) -> None:
+        key = int(row[self.key])
+        if self._index.contains(key):
+            raise StorageError(f"duplicate primary key {key}")
+        if not self._pages or self._fill == self.page_rows:
+            self._pages.append(np.zeros(self.page_rows, dtype=self._struct_dtype))
+            self._fill = 0
+        page_no = len(self._pages) - 1
+        slot = self._fill
+        self._pages[page_no][slot] = row
+        self._fill += 1
+        self.stats.page_writes += 1
+        self._index.insert(key, (page_no, slot))
+
+    # -- access paths ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def n_pages(self) -> int:
+        return len(self._pages)
+
+    def get(self, key: int) -> dict[str, object]:
+        """Random access by primary key (index probe + page read)."""
+        page_no, slot = self._index.get(int(key))
+        self.stats.page_reads += 1
+        row = self._pages[page_no][slot]
+        return {name: row[name].item() for name in self.schema.names}
+
+    def get_field(self, key: int, field_name: str):
+        """Random access returning a single field (still reads a page)."""
+        page_no, slot = self._index.get(int(key))
+        self.stats.page_reads += 1
+        return self._pages[page_no][slot][field_name].item()
+
+    def get_many(self, keys: Sequence[int], field_name: str) -> np.ndarray:
+        """Key-at-a-time batch lookup — the OLTP anti-pattern under test.
+
+        This is how a naive portfolio tool joins the YET's event stream
+        against an indexed ELT table: one index descent and one page read
+        per event occurrence.
+        """
+        out = np.empty(len(keys), dtype=np.float64)
+        for i, k in enumerate(keys):
+            out[i] = self.get_field(int(k), field_name)
+        return out
+
+    def full_scan(self) -> Iterator[np.ndarray]:
+        """Page-ordered sequential scan (yields whole pages)."""
+        for i, page in enumerate(self._pages):
+            self.stats.page_reads += 1
+            used = self._fill if i == len(self._pages) - 1 else self.page_rows
+            yield page[:used]
+
+    def to_column_table(self) -> ColumnTable:
+        """Export contents via a full scan."""
+        parts = [p.copy() for p in self.full_scan()]
+        if not parts:
+            return ColumnTable(self.schema)
+        struct = np.concatenate(parts)
+        return ColumnTable.from_struct_array(self.schema, struct)
+
+    @property
+    def index_node_visits(self) -> int:
+        return self._index.node_visits

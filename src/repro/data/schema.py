@@ -1,0 +1,140 @@
+"""Typed schemas for columnar tables.
+
+A :class:`Schema` is an ordered collection of named, NumPy-typed fields.
+Tables in the pipeline (ELT, YET, YELT, YLT, exposure) all declare schemas
+so that size accounting — central to the paper's data-volume arguments —
+is exact: :meth:`Schema.row_bytes` gives the packed width of one record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+__all__ = ["Field", "Schema"]
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named, typed column.
+
+    Attributes
+    ----------
+    name:
+        Column name, unique within a schema.
+    dtype:
+        Any NumPy-coercible dtype specifier (``"f8"``, ``np.int64``...).
+    """
+
+    name: str
+    dtype: np.dtype
+
+    def __init__(self, name: str, dtype) -> None:
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"field name must be a non-empty string, got {name!r}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "dtype", np.dtype(dtype))
+
+    @property
+    def itemsize(self) -> int:
+        return self.dtype.itemsize
+
+
+class Schema:
+    """Ordered, immutable collection of :class:`Field` objects."""
+
+    __slots__ = ("_fields", "_index")
+
+    def __init__(self, fields: Iterable[Field | tuple[str, object]]) -> None:
+        normalised: list[Field] = []
+        for f in fields:
+            if isinstance(f, Field):
+                normalised.append(f)
+            else:
+                name, dtype = f
+                normalised.append(Field(name, dtype))
+        names = [f.name for f in normalised]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate field names in schema: {names}")
+        if not normalised:
+            raise SchemaError("schema must contain at least one field")
+        self._fields = tuple(normalised)
+        self._index = {f.name: i for i, f in enumerate(self._fields)}
+
+    @property
+    def fields(self) -> tuple[Field, ...]:
+        return self._fields
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self._fields)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __getitem__(self, name: str) -> Field:
+        try:
+            return self._fields[self._index[name]]
+        except KeyError:
+            raise SchemaError(f"no field {name!r} in schema {self.names}") from None
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Schema) and self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return hash(self._fields)
+
+    @property
+    def row_bytes(self) -> int:
+        """Packed width of one record in bytes (no alignment padding)."""
+        return sum(f.itemsize for f in self._fields)
+
+    def table_bytes(self, n_rows: int) -> int:
+        """Packed size of ``n_rows`` records."""
+        if n_rows < 0:
+            raise SchemaError(f"n_rows must be non-negative, got {n_rows}")
+        return n_rows * self.row_bytes
+
+    def empty_columns(self, n_rows: int = 0) -> dict[str, np.ndarray]:
+        """Allocate a column dict of ``n_rows`` zeros per field."""
+        return {f.name: np.zeros(n_rows, dtype=f.dtype) for f in self._fields}
+
+    def validate_columns(self, columns: Mapping[str, np.ndarray]) -> int:
+        """Check ``columns`` match this schema; return the row count."""
+        if set(columns.keys()) != set(self.names):
+            raise SchemaError(
+                f"column names {sorted(columns)} do not match schema {sorted(self.names)}"
+            )
+        n_rows = None
+        for f in self._fields:
+            col = columns[f.name]
+            if not isinstance(col, np.ndarray) or col.ndim != 1:
+                raise SchemaError(f"column {f.name!r} must be a 1-D ndarray")
+            if col.dtype != f.dtype:
+                raise SchemaError(
+                    f"column {f.name!r} has dtype {col.dtype}, schema says {f.dtype}"
+                )
+            if n_rows is None:
+                n_rows = col.shape[0]
+            elif col.shape[0] != n_rows:
+                raise SchemaError("columns have inconsistent lengths")
+        assert n_rows is not None
+        return n_rows
+
+    def to_struct_dtype(self) -> np.dtype:
+        """Packed structured dtype for row-wise serialisation."""
+        return np.dtype([(f.name, f.dtype) for f in self._fields])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{f.name}:{f.dtype}" for f in self._fields)
+        return f"Schema({inner})"

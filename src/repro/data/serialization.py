@@ -1,0 +1,59 @@
+"""Binary packing of column tables for DFS blocks and the chunk store.
+
+A packed table is a self-describing byte string: a small header encoding
+the schema (field names and dtype strings) followed by the rows as a
+packed structured array.  Self-description matters because MapReduce map
+tasks receive single DFS blocks and must decode them independently — the
+same property Hadoop sequence files provide.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.data.columnar import ColumnTable
+from repro.data.schema import Schema
+from repro.errors import StorageError
+
+__all__ = ["pack_table", "unpack_table"]
+
+_MAGIC = b"RPT1"  # repro packed table, version 1
+
+
+def pack_table(table: ColumnTable) -> bytes:
+    """Serialise ``table`` to a self-describing byte string."""
+    header = {
+        "fields": [[f.name, f.dtype.str] for f in table.schema],
+        "n_rows": table.n_rows,
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    payload = table.to_struct_array().tobytes()
+    return _MAGIC + struct.pack("<I", len(header_bytes)) + header_bytes + payload
+
+
+def unpack_table(data: bytes) -> ColumnTable:
+    """Inverse of :func:`pack_table`."""
+    if len(data) < 8 or data[:4] != _MAGIC:
+        raise StorageError("not a packed table (bad magic)")
+    (header_len,) = struct.unpack("<I", data[4:8])
+    header_end = 8 + header_len
+    if len(data) < header_end:
+        raise StorageError("truncated packed table header")
+    try:
+        header = json.loads(data[8:header_end].decode("utf-8"))
+        schema = Schema([(name, np.dtype(dt)) for name, dt in header["fields"]])
+        n_rows = int(header["n_rows"])
+    except (ValueError, KeyError, TypeError) as exc:
+        raise StorageError(f"corrupt packed table header: {exc}") from exc
+    struct_dtype = schema.to_struct_dtype()
+    expected = header_end + n_rows * struct_dtype.itemsize
+    if len(data) != expected:
+        raise StorageError(
+            f"packed table payload is {len(data) - header_end} bytes, "
+            f"expected {n_rows * struct_dtype.itemsize}"
+        )
+    arr = np.frombuffer(data[header_end:], dtype=struct_dtype)
+    return ColumnTable.from_struct_array(schema, arr)

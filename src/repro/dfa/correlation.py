@@ -1,0 +1,98 @@
+"""Copula-based dependence for combining risk YLTs.
+
+Summing independently simulated YLTs trial-by-trial implies zero
+dependence between risks, which understates tail risk — catastrophe
+years correlate with soft markets and counterparty stress.  The standard
+DFA remedy is rank reordering (Iman–Conover): draw one multivariate
+Gaussian vector per trial under the target correlation matrix and
+rearrange each marginal's simulated losses to follow the ranks, which
+preserves every marginal exactly while inducing the requested rank
+correlation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tables import YltTable
+from repro.errors import AnalysisError, ConfigurationError
+
+__all__ = ["GaussianCopula"]
+
+
+class GaussianCopula:
+    """Rank-dependence inducer over ``k`` marginals.
+
+    Parameters
+    ----------
+    correlation:
+        ``k×k`` symmetric positive-semidefinite matrix with unit diagonal.
+    """
+
+    def __init__(self, correlation: np.ndarray) -> None:
+        corr = np.asarray(correlation, dtype=np.float64)
+        if corr.ndim != 2 or corr.shape[0] != corr.shape[1]:
+            raise ConfigurationError("correlation must be a square matrix")
+        if not np.allclose(corr, corr.T, atol=1e-12):
+            raise ConfigurationError("correlation must be symmetric")
+        if not np.allclose(np.diag(corr), 1.0, atol=1e-12):
+            raise ConfigurationError("correlation diagonal must be 1")
+        # PSD check via eigenvalues (tolerating tiny negatives from fp).
+        eigvals = np.linalg.eigvalsh(corr)
+        if eigvals.min() < -1e-8:
+            raise ConfigurationError(
+                f"correlation matrix is not PSD (min eigenvalue {eigvals.min():.3g})"
+            )
+        self.correlation = corr
+        # Factor for sampling: use eigen decomposition so PSD-but-singular
+        # matrices (e.g. perfect correlation) still work.
+        w = np.clip(eigvals, 0.0, None)
+        v = np.linalg.eigh(corr)[1]
+        self._factor = v @ np.diag(np.sqrt(w))
+
+    @property
+    def k(self) -> int:
+        return self.correlation.shape[0]
+
+    def sample_ranks(self, n_trials: int, rng: np.random.Generator) -> np.ndarray:
+        """Rank matrix ``(n_trials, k)``: each column a permutation order.
+
+        Column ``j``'s ranks follow the copula: trials that rank high in
+        one risk tend to rank high in correlated risks.
+        """
+        if n_trials <= 0:
+            raise AnalysisError("n_trials must be positive")
+        z = rng.standard_normal((n_trials, self.k)) @ self._factor.T
+        return np.argsort(np.argsort(z, axis=0), axis=0)
+
+    def reorder(self, ylts: list[YltTable], rng: np.random.Generator) -> list[YltTable]:
+        """Return reordered copies of the marginals with induced dependence.
+
+        Each output YLT has exactly the same multiset of losses as its
+        input (marginals preserved); only the trial assignment changes.
+        """
+        if len(ylts) != self.k:
+            raise AnalysisError(
+                f"copula has {self.k} marginals, got {len(ylts)} YLTs"
+            )
+        n = ylts[0].n_trials
+        for y in ylts:
+            if y.n_trials != n:
+                raise AnalysisError("all YLTs must share the trial count")
+        ranks = self.sample_ranks(n, rng)
+        out = []
+        for j, ylt in enumerate(ylts):
+            sorted_losses = np.sort(ylt.losses)
+            out.append(YltTable(sorted_losses[ranks[:, j]]))
+        return out
+
+    @classmethod
+    def uniform(cls, k: int, rho: float) -> "GaussianCopula":
+        """Equicorrelated matrix (all off-diagonals ``rho``)."""
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        if not (-1.0 / (k - 1) if k > 1 else -1.0) <= rho <= 1.0:
+            raise ConfigurationError(f"rho={rho} is infeasible for k={k}")
+        corr = np.full((k, k), rho, dtype=np.float64)
+        np.fill_diagonal(corr, 1.0)
+        return cls(corr)

@@ -1,0 +1,93 @@
+"""Enterprise risk management: the final roll-up of §II.
+
+"These metrics then flow into the final stage in the risk analysis
+pipeline, namely Enterprise Risk Management, where liability, asset, and
+other forms of risks are combined and correlated to generate an
+enterprise wide view of risk."  An :class:`Enterprise` holds business
+units (each a named YLT), combines them under a dependence model, and
+reports economic capital and the diversification benefit — the quantity
+that justifies running the combination at full trial resolution instead
+of adding standalone capital numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.tables import YltTable
+from repro.dfa.combine import combine_ylts
+from repro.dfa.metrics import RiskMetrics, tail_value_at_risk
+from repro.errors import AnalysisError
+
+__all__ = ["BusinessUnit", "Enterprise"]
+
+
+@dataclass(frozen=True)
+class BusinessUnit:
+    """One business unit / risk source in the enterprise view."""
+
+    name: str
+    ylt: YltTable
+
+    def standalone_capital(self, q: float = 0.99) -> float:
+        """TVaR-based standalone economic capital."""
+        return tail_value_at_risk(self.ylt, q)
+
+
+class Enterprise:
+    """The enterprise-wide aggregation of business-unit YLTs."""
+
+    def __init__(self, units: list[BusinessUnit]) -> None:
+        if not units:
+            raise AnalysisError("an enterprise needs at least one business unit")
+        names = [u.name for u in units]
+        if len(set(names)) != len(names):
+            raise AnalysisError(f"duplicate business unit names: {names}")
+        n = units[0].ylt.n_trials
+        for u in units:
+            if u.ylt.n_trials != n:
+                raise AnalysisError("all units must share the trial count")
+        self.units = list(units)
+
+    @property
+    def n_trials(self) -> int:
+        return self.units[0].ylt.n_trials
+
+    def combined_ylt(self, method: str = "trial_aligned",
+                     correlation: np.ndarray | None = None,
+                     rng: np.random.Generator | None = None) -> YltTable:
+        return combine_ylts(
+            [u.ylt for u in self.units], method=method,
+            correlation=correlation, rng=rng,
+        )
+
+    def economic_capital(self, q: float = 0.99, method: str = "trial_aligned",
+                         correlation: np.ndarray | None = None,
+                         rng: np.random.Generator | None = None) -> float:
+        """Enterprise TVaR(q) under the chosen dependence model."""
+        return tail_value_at_risk(
+            self.combined_ylt(method, correlation, rng), q
+        )
+
+    def diversification_benefit(self, q: float = 0.99,
+                                method: str = "trial_aligned",
+                                correlation: np.ndarray | None = None,
+                                rng: np.random.Generator | None = None) -> float:
+        """1 − combined capital / Σ standalone capital, in ``[0, 1]``.
+
+        Zero means no diversification (comonotonic-like); larger is
+        better.  Sub-additivity of TVaR guarantees non-negativity up to
+        sampling noise for trial-aligned and copula combination.
+        """
+        standalone = sum(u.standalone_capital(q) for u in self.units)
+        if standalone <= 0:
+            raise AnalysisError("standalone capital is zero; benefit undefined")
+        combined = self.economic_capital(q, method, correlation, rng)
+        return 1.0 - combined / standalone
+
+    def metrics(self, method: str = "trial_aligned",
+                correlation: np.ndarray | None = None,
+                rng: np.random.Generator | None = None) -> RiskMetrics:
+        return RiskMetrics.from_ylt(self.combined_ylt(method, correlation, rng))

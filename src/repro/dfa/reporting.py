@@ -1,0 +1,53 @@
+"""Regulator / rating-agency style reporting.
+
+§II: PML and TVaR "are used for both internal risk management and
+reporting to regulators and rating agencies".  This module renders the
+standard report: a PML ladder over return periods and a VaR/TVaR ladder
+over tail levels, as fixed-width text (the pipeline's reporting endpoint
+and the E10 bench's human-readable output).
+"""
+
+from __future__ import annotations
+
+from repro.dfa.metrics import RiskMetrics
+from repro.util.tables import render_table
+
+__all__ = ["regulator_report", "pml_ladder_rows", "tail_ladder_rows"]
+
+
+def pml_ladder_rows(metrics: RiskMetrics) -> list[list[object]]:
+    """Rows of (return period, exceedance probability, PML)."""
+    return [
+        [f"{int(t)}y", f"{1.0 / t:.3%}", f"{metrics.pml[t]:,.0f}"]
+        for t in sorted(metrics.pml)
+    ]
+
+
+def tail_ladder_rows(metrics: RiskMetrics) -> list[list[object]]:
+    """Rows of (level, VaR, TVaR, TVaR/VaR)."""
+    rows = []
+    for q in sorted(metrics.var):
+        var, tvar = metrics.var[q], metrics.tvar[q]
+        ratio = tvar / var if var > 0 else float("nan")
+        rows.append([f"{q:.1%}", f"{var:,.0f}", f"{tvar:,.0f}", f"{ratio:.2f}"])
+    return rows
+
+
+def regulator_report(metrics: RiskMetrics, title: str = "Portfolio risk report") -> str:
+    """Render the full report as monospace text."""
+    header = (
+        f"{title}\n"
+        f"trials: {metrics.n_trials:,}   expected annual loss: {metrics.mean:,.0f}"
+        f"   (s.e. {metrics.standard_error:,.0f})   std: {metrics.std:,.0f}\n"
+    )
+    pml = render_table(
+        ["return period", "exceedance p", "PML"],
+        pml_ladder_rows(metrics),
+        title="Probable Maximum Loss ladder",
+    )
+    tail = render_table(
+        ["level", "VaR", "TVaR", "TVaR/VaR"],
+        tail_ladder_rows(metrics),
+        title="Tail ladders",
+    )
+    return f"{header}\n{pml}\n\n{tail}"

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` risk-analytics library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors (``TypeError`` etc. are still allowed to escape where appropriate).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class SchemaError(ReproError):
+    """A table was given data inconsistent with its declared schema."""
+
+
+class CapacityError(ReproError):
+    """A memory space or device allocation exceeded its configured capacity."""
+
+
+class DeviceError(ReproError):
+    """A simulated-device operation was invalid (bad launch, missing buffer)."""
+
+
+class ClusterError(ReproError):
+    """A simulated-cluster operation failed (unknown rank, dead node)."""
+
+
+class StorageError(ReproError):
+    """A DFS / chunk-store operation failed (missing file, corrupt block)."""
+
+
+class MapReduceError(ReproError):
+    """A MapReduce job was misconfigured or a task failed permanently."""
+
+
+class EngineError(ReproError):
+    """An aggregate-analysis engine received an unsupported workload."""
+
+
+class AnalysisError(ReproError):
+    """A statistical analysis was requested on insufficient or invalid data."""

@@ -1,0 +1,50 @@
+"""HPC substrate: simulated many-core device, cluster, and cost model.
+
+The paper's first strategy for the pipeline's data challenge is
+*"accumulation of large memory ... the use of many-core GPUs"* with
+chunking into shared and constant memory (§II).  No GPU is assumed here:
+:class:`repro.hpc.device.SimulatedGpu` is an explicit device *model* —
+memory spaces with real capacities, kernel launches over a block grid —
+whose kernels execute as vectorised NumPy.  This preserves what the
+paper's claims are about (data-parallel execution and capacity-driven
+chunking) without CUDA.  See DESIGN.md §2 for the substitution argument.
+
+The cluster side (:mod:`repro.hpc.cluster`, :mod:`repro.hpc.collectives`)
+models the "thousands of processors" stages with MPI-style collectives and
+an analytic cost model (:mod:`repro.hpc.cost_model`) used for the burst /
+elasticity analysis (experiment E9).
+"""
+
+from repro.hpc.memory import MemorySpace, TransferLedger
+from repro.hpc.device import DeviceProperties, SimulatedGpu
+from repro.hpc.kernel import Kernel, LaunchStats
+from repro.hpc.chunking import ChunkPlanner, DeviceChunkPlan
+from repro.hpc.cluster import SimCluster
+from repro.hpc.collectives import Collectives
+from repro.hpc.scheduler import StaticScheduler, DynamicScheduler
+from repro.hpc.cost_model import PipelineCostModel, StageSpec
+from repro.hpc.occupancy import OccupancyLimits, OccupancyResult, occupancy
+from repro.hpc.elasticity import DemandPhase, ProvisioningPlan, compare_provisioning
+
+__all__ = [
+    "MemorySpace",
+    "TransferLedger",
+    "DeviceProperties",
+    "SimulatedGpu",
+    "Kernel",
+    "LaunchStats",
+    "ChunkPlanner",
+    "DeviceChunkPlan",
+    "SimCluster",
+    "Collectives",
+    "StaticScheduler",
+    "DynamicScheduler",
+    "PipelineCostModel",
+    "StageSpec",
+    "OccupancyLimits",
+    "OccupancyResult",
+    "occupancy",
+    "DemandPhase",
+    "ProvisioningPlan",
+    "compare_provisioning",
+]

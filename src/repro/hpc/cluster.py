@@ -1,0 +1,97 @@
+"""A simulated distributed-memory cluster.
+
+Stages 2 and 3 of the pipeline *"put together thousands or even tens of
+thousands of processors"* (§II).  :class:`SimCluster` models such a
+machine in one process: a set of nodes with individual memory capacities,
+a network characterised by per-message latency and bandwidth, and an SPMD
+``run`` primitive.  Computation executes for real (serially, node by
+node); communication *time* is modelled analytically, which is what the
+burst/elasticity experiment needs — the actual payload bytes are moved
+for real so results stay exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ClusterError
+from repro.hpc.memory import MemorySpace
+
+__all__ = ["NetworkModel", "SimCluster", "NodeHandle"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth (alpha-beta) model of the interconnect."""
+
+    latency_s: float = 5e-6
+    bandwidth_bytes_per_s: float = 5e9
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Modelled time to move one message of ``nbytes``."""
+        if nbytes < 0:
+            raise ClusterError(f"negative message size {nbytes}")
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+
+@dataclass
+class NodeHandle:
+    """One simulated node: rank, private memory space, private namespace."""
+
+    rank: int
+    memory: MemorySpace
+    store: dict = field(default_factory=dict)
+
+
+class SimCluster:
+    """A fixed-size simulated cluster of distributed-memory nodes.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes (ranks ``0 .. n_nodes-1``).
+    node_mem_bytes:
+        Per-node memory capacity (accounted, like the device model).
+    network:
+        Interconnect model used by the collectives' time accounting.
+    """
+
+    def __init__(self, n_nodes: int, node_mem_bytes: int = 16 * 1024**3,
+                 network: NetworkModel | None = None) -> None:
+        if n_nodes <= 0:
+            raise ClusterError(f"cluster needs at least one node, got {n_nodes}")
+        self.nodes = [
+            NodeHandle(rank, MemorySpace(f"node{rank}", node_mem_bytes))
+            for rank in range(n_nodes)
+        ]
+        self.network = network or NetworkModel()
+        #: Accumulated modelled communication time (seconds).
+        self.comm_seconds = 0.0
+        #: Accumulated modelled communication volume (bytes).
+        self.comm_bytes = 0
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, rank: int) -> NodeHandle:
+        if not (0 <= rank < self.n_nodes):
+            raise ClusterError(f"no rank {rank} in a {self.n_nodes}-node cluster")
+        return self.nodes[rank]
+
+    def run(self, fn: Callable[[NodeHandle], object],
+            ranks: Sequence[int] | None = None) -> list[object]:
+        """Execute ``fn`` on each selected node (SPMD), returning results.
+
+        Execution is sequential over ranks — results are identical to a
+        truly parallel run because nodes share nothing except through the
+        collectives, which are barriers.
+        """
+        selected = range(self.n_nodes) if ranks is None else ranks
+        return [fn(self.node(r)) for r in selected]
+
+    def account_message(self, nbytes: int) -> None:
+        """Record one point-to-point message in the time/volume model."""
+        self.comm_seconds += self.network.transfer_seconds(nbytes)
+        self.comm_bytes += nbytes

@@ -1,0 +1,116 @@
+"""MPI-style collectives over the simulated cluster.
+
+The distributed aggregate-analysis engine composes its data movement from
+the classic collectives: ``scatter`` trial blocks, ``bcast`` the ELT
+tables, ``gather``/``reduce`` partial YLTs.  Data is moved for real
+(arrays placed in each node's namespace); time is charged to the
+cluster's communication ledger using the standard tree-algorithm cost
+formulas (log₂P rounds for bcast/reduce, P−1 messages for scatter/gather
+from a root), so E9 can reason about communication at scale.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ClusterError
+from repro.hpc.cluster import SimCluster
+
+__all__ = ["Collectives"]
+
+
+class Collectives:
+    """Collective operations bound to one :class:`SimCluster`."""
+
+    def __init__(self, cluster: SimCluster) -> None:
+        self.cluster = cluster
+
+    # -- helpers ------------------------------------------------------------
+
+    def _check_root(self, root: int) -> None:
+        if not (0 <= root < self.cluster.n_nodes):
+            raise ClusterError(f"invalid root rank {root}")
+
+    @staticmethod
+    def _nbytes(obj) -> int:
+        if isinstance(obj, np.ndarray):
+            return obj.nbytes
+        if isinstance(obj, (bytes, bytearray)):
+            return len(obj)
+        return 64  # control-message allowance for small python objects
+
+    # -- collectives -----------------------------------------------------------
+
+    def bcast(self, key: str, value, root: int = 0) -> None:
+        """Replicate ``value`` into every node's store under ``key``.
+
+        Time model: binomial tree, ``ceil(log2 P)`` rounds each carrying
+        the full payload.
+        """
+        self._check_root(root)
+        nbytes = self._nbytes(value)
+        rounds = math.ceil(math.log2(self.cluster.n_nodes)) if self.cluster.n_nodes > 1 else 0
+        for _ in range(rounds):
+            self.cluster.account_message(nbytes)
+        for node in self.cluster.nodes:
+            node.store[key] = value
+
+    def scatter(self, key: str, parts: Sequence, root: int = 0) -> None:
+        """Distribute ``parts[i]`` to rank ``i`` under ``key``."""
+        self._check_root(root)
+        if len(parts) != self.cluster.n_nodes:
+            raise ClusterError(
+                f"scatter needs {self.cluster.n_nodes} parts, got {len(parts)}"
+            )
+        for rank, part in enumerate(parts):
+            if rank != root:
+                self.cluster.account_message(self._nbytes(part))
+            self.cluster.node(rank).store[key] = part
+
+    def gather(self, key: str, root: int = 0) -> list:
+        """Collect each rank's ``key`` value at the root (rank order)."""
+        self._check_root(root)
+        out = []
+        for node in self.cluster.nodes:
+            if key not in node.store:
+                raise ClusterError(f"rank {node.rank} has no value {key!r} to gather")
+            if node.rank != root:
+                self.cluster.account_message(self._nbytes(node.store[key]))
+            out.append(node.store[key])
+        return out
+
+    def reduce(self, key: str, op: Callable = np.add, root: int = 0):
+        """Element-wise reduction of each rank's ``key`` array at the root.
+
+        Time model: binomial tree, ``ceil(log2 P)`` rounds of payload-sized
+        messages.
+        """
+        self._check_root(root)
+        values = []
+        for node in self.cluster.nodes:
+            if key not in node.store:
+                raise ClusterError(f"rank {node.rank} has no value {key!r} to reduce")
+            values.append(node.store[key])
+        nbytes = self._nbytes(values[0])
+        rounds = math.ceil(math.log2(self.cluster.n_nodes)) if self.cluster.n_nodes > 1 else 0
+        for _ in range(rounds):
+            self.cluster.account_message(nbytes)
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def allreduce(self, key: str, op: Callable = np.add):
+        """Reduce then broadcast; every node's store gets the result."""
+        result = self.reduce(key, op=op, root=0)
+        self.bcast(key, result, root=0)
+        return result
+
+    def barrier(self) -> None:
+        """Synchronisation point (charges 2·log₂P zero-payload messages)."""
+        rounds = math.ceil(math.log2(self.cluster.n_nodes)) if self.cluster.n_nodes > 1 else 0
+        for _ in range(2 * rounds):
+            self.cluster.account_message(0)

@@ -1,0 +1,99 @@
+"""Elastic vs fixed provisioning over the pipeline's demand profile.
+
+§II closes with the observation that the pipeline's *"sudden burst of
+data"* — stage 1 wanting <10 processors while stages 2–3 want thousands
+— creates *"elastic demand for the storage of data, data retrieval, data
+processing and data integration [that] makes cloud-based computing
+attractive"*.  This module makes that claim a computation: given a
+timeline of stage demands (processors × duration), compare
+
+- **fixed provisioning**: a cluster sized to the peak demand, paid for
+  around the clock; and
+- **elastic provisioning**: capacity acquired per phase (with a spin-up
+  overhead per scale-up event),
+
+in node-hours.  The ratio is the economic content of the paper's
+elasticity argument; E9's bench note quotes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DemandPhase", "ProvisioningPlan", "compare_provisioning"]
+
+
+@dataclass(frozen=True)
+class DemandPhase:
+    """One phase of the workload: ``n_procs`` needed for ``hours``."""
+
+    name: str
+    n_procs: int
+    hours: float
+
+    def __post_init__(self):
+        if self.n_procs < 0:
+            raise ConfigurationError("n_procs must be non-negative")
+        if self.hours < 0:
+            raise ConfigurationError("hours must be non-negative")
+
+    @property
+    def node_hours(self) -> float:
+        return self.n_procs * self.hours
+
+
+@dataclass(frozen=True)
+class ProvisioningPlan:
+    """Cost summary of one provisioning strategy."""
+
+    strategy: str
+    node_hours: float
+    peak_procs: int
+    utilisation: float  # useful node-hours / paid node-hours
+
+
+def compare_provisioning(
+    phases: Sequence[DemandPhase],
+    spin_up_overhead_hours: float = 0.1,
+) -> dict[str, ProvisioningPlan]:
+    """Fixed-at-peak vs elastic node-hour cost for a demand timeline.
+
+    Fixed provisioning pays ``peak × total_duration``; elastic pays each
+    phase's own demand plus a spin-up surcharge (``overhead × procs``)
+    whenever a phase needs more processors than the previous one — the
+    cloud's instance-start cost.
+    """
+    if not phases:
+        raise ConfigurationError("need at least one demand phase")
+    if spin_up_overhead_hours < 0:
+        raise ConfigurationError("spin_up_overhead_hours must be non-negative")
+
+    total_hours = sum(p.hours for p in phases)
+    useful = sum(p.node_hours for p in phases)
+    peak = max(p.n_procs for p in phases)
+
+    fixed_cost = peak * total_hours
+    fixed = ProvisioningPlan(
+        strategy="fixed",
+        node_hours=fixed_cost,
+        peak_procs=peak,
+        utilisation=useful / fixed_cost if fixed_cost > 0 else 1.0,
+    )
+
+    elastic_cost = 0.0
+    prev = 0
+    for p in phases:
+        elastic_cost += p.node_hours
+        if p.n_procs > prev:
+            elastic_cost += (p.n_procs - prev) * spin_up_overhead_hours
+        prev = p.n_procs
+    elastic = ProvisioningPlan(
+        strategy="elastic",
+        node_hours=elastic_cost,
+        peak_procs=peak,
+        utilisation=useful / elastic_cost if elastic_cost > 0 else 1.0,
+    )
+    return {"fixed": fixed, "elastic": elastic}

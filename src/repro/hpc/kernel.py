@@ -1,0 +1,125 @@
+"""Kernel-launch abstraction for the simulated device.
+
+A :class:`Kernel` is a Python function with the signature::
+
+    fn(ctx: BlockContext, **buffers) -> None
+
+launched over a 1-D grid of blocks.  Each block receives a
+:class:`BlockContext` describing its row span and a per-block *shared
+memory* arena with the device's real per-block capacity; the function
+body operates on whole-block slices with vectorised NumPy — the moral
+equivalent of a coalesced CUDA block where every thread handles one row.
+Launch statistics (blocks, rows, shared-memory peaks) feed the chunking
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.hpc.memory import MemorySpace
+
+__all__ = ["BlockContext", "Kernel", "LaunchStats"]
+
+
+@dataclass
+class LaunchStats:
+    """Execution record of one kernel launch."""
+
+    kernel_name: str
+    n_blocks: int = 0
+    n_rows: int = 0
+    shared_peak_bytes: int = 0
+    launches: int = 1
+
+
+class BlockContext:
+    """Per-block execution context handed to kernel functions.
+
+    Attributes
+    ----------
+    block_id:
+        Index of this block within the launch grid.
+    start, stop:
+        Half-open global row span this block covers.
+    shared:
+        A :class:`MemorySpace` with the device's per-block shared-memory
+        capacity; allocations exceeding it raise ``CapacityError`` exactly
+        as oversubscribing CUDA shared memory fails at launch.
+    constant:
+        Read-only mapping of the device's constant-memory buffers.
+    """
+
+    __slots__ = ("block_id", "start", "stop", "shared", "constant")
+
+    def __init__(self, block_id: int, start: int, stop: int,
+                 shared: MemorySpace, constant: Mapping[str, np.ndarray]) -> None:
+        self.block_id = block_id
+        self.start = start
+        self.stop = stop
+        self.shared = shared
+        self.constant = constant
+
+    @property
+    def n_rows(self) -> int:
+        return self.stop - self.start
+
+    def rows(self) -> slice:
+        """Global row slice for this block (for indexing device buffers)."""
+        return slice(self.start, self.stop)
+
+
+@dataclass
+class Kernel:
+    """A named device function launched over a block grid.
+
+    Attributes
+    ----------
+    name:
+        Diagnostic name used in launch stats.
+    fn:
+        The block function; see module docstring for the contract.
+    """
+
+    name: str
+    fn: Callable[..., None]
+    stats: list[LaunchStats] = field(default_factory=list)
+
+    def launch(
+        self,
+        n_rows: int,
+        rows_per_block: int,
+        shared_capacity_bytes: int,
+        constant: Mapping[str, np.ndarray],
+        **buffers: np.ndarray,
+    ) -> LaunchStats:
+        """Execute the kernel over ``ceil(n_rows / rows_per_block)`` blocks.
+
+        ``buffers`` are device-resident arrays passed through to every
+        block invocation.  Shared memory is allocated fresh per block and
+        torn down after it — block-local lifetime, as on hardware.
+        """
+        if n_rows < 0:
+            raise DeviceError(f"n_rows must be non-negative, got {n_rows}")
+        if rows_per_block <= 0:
+            raise DeviceError(f"rows_per_block must be positive, got {rows_per_block}")
+        stats = LaunchStats(kernel_name=self.name)
+        start = 0
+        block_id = 0
+        while start < n_rows:
+            stop = min(start + rows_per_block, n_rows)
+            shared = MemorySpace(f"shared[{self.name}:{block_id}]", shared_capacity_bytes)
+            ctx = BlockContext(block_id, start, stop, shared, constant)
+            self.fn(ctx, **buffers)
+            stats.shared_peak_bytes = max(stats.shared_peak_bytes, shared.peak_bytes)
+            shared.free_all()
+            stats.n_blocks += 1
+            stats.n_rows += stop - start
+            start = stop
+            block_id += 1
+        self.stats.append(stats)
+        return stats

@@ -1,0 +1,136 @@
+"""Capacity-tracked memory spaces and a host↔device transfer ledger.
+
+A :class:`MemorySpace` is a named arena with a hard byte capacity;
+allocations are real NumPy arrays, but every allocation is accounted so
+exceeding the modelled device's global/shared/constant capacity raises
+:class:`~repro.errors.CapacityError` — exactly the constraint that forces
+the chunking strategy the paper describes.  The :class:`TransferLedger`
+counts bytes moved between host and device, which the device engine
+reports so benches can show the PCIe-traffic effect of chunk sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CapacityError, DeviceError
+
+__all__ = ["Allocation", "MemorySpace", "TransferLedger"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Handle to one allocation inside a :class:`MemorySpace`."""
+
+    space: str
+    name: str
+    array: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return self.array.nbytes
+
+
+class MemorySpace:
+    """A named memory arena with a byte capacity.
+
+    Parameters
+    ----------
+    name:
+        Space name (``"global"``, ``"shared"``, ``"constant"``...).
+    capacity_bytes:
+        Hard limit on the sum of live allocation sizes.
+    """
+
+    def __init__(self, name: str, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise CapacityError(f"capacity must be positive, got {capacity_bytes}")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self._allocations: dict[str, Allocation] = {}
+        self.peak_bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(a.nbytes for a in self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def alloc(self, name: str, shape, dtype) -> np.ndarray:
+        """Allocate a zeroed array under ``name``."""
+        return self.put(name, np.zeros(shape, dtype=dtype), copy=False)
+
+    def put(self, name: str, array: np.ndarray, copy: bool = True) -> np.ndarray:
+        """Store ``array`` under ``name`` (copying by default)."""
+        if name in self._allocations:
+            raise DeviceError(f"{self.name}: buffer {name!r} already allocated")
+        data = np.array(array, copy=True) if copy else np.asarray(array)
+        if data.nbytes > self.free_bytes:
+            raise CapacityError(
+                f"{self.name}: allocating {data.nbytes} B for {name!r} exceeds "
+                f"free capacity {self.free_bytes} B "
+                f"(capacity {self.capacity_bytes} B, used {self.used_bytes} B)"
+            )
+        self._allocations[name] = Allocation(self.name, name, data)
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        return data
+
+    def get(self, name: str) -> np.ndarray:
+        try:
+            return self._allocations[name].array
+        except KeyError:
+            raise DeviceError(f"{self.name}: no buffer {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._allocations
+
+    def free(self, name: str) -> None:
+        if name not in self._allocations:
+            raise DeviceError(f"{self.name}: cannot free unknown buffer {name!r}")
+        del self._allocations[name]
+
+    def free_all(self) -> None:
+        self._allocations.clear()
+
+    def buffers(self) -> list[str]:
+        return sorted(self._allocations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MemorySpace({self.name!r}, used={self.used_bytes}/"
+            f"{self.capacity_bytes} B, buffers={self.buffers()})"
+        )
+
+
+@dataclass
+class TransferLedger:
+    """Counts host↔device transfer traffic.
+
+    The simulated device has no real bus, but the *volume* of data an
+    implementation would move is a property of the algorithm, not the
+    hardware — so we account it faithfully.
+    """
+
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    h2d_transfers: int = 0
+    d2h_transfers: int = 0
+    history: list[tuple[str, int]] = field(default_factory=list)
+
+    def record_h2d(self, nbytes: int) -> None:
+        self.h2d_bytes += nbytes
+        self.h2d_transfers += 1
+        self.history.append(("h2d", nbytes))
+
+    def record_d2h(self, nbytes: int) -> None:
+        self.d2h_bytes += nbytes
+        self.d2h_transfers += 1
+        self.history.append(("d2h", nbytes))
+
+    @property
+    def total_bytes(self) -> int:
+        return self.h2d_bytes + self.d2h_bytes

@@ -1,0 +1,95 @@
+"""Device occupancy model: how many blocks fit per multiprocessor.
+
+CUDA-era performance tuning revolves around *occupancy* — the number of
+resident blocks per streaming multiprocessor, limited by whichever
+resource (shared memory, threads, the hardware block slot count) runs
+out first.  The chunk planner decides chunk sizes; this model explains
+*why* a given per-block shared-memory budget throttles parallelism,
+which is the quantitative backdrop for the companion study's
+shared-memory frugality.
+
+The arithmetic follows the CUDA occupancy calculator for Fermi-class
+devices (the paper's hardware era): per-SM limits of 8 blocks, 1536
+threads, and 48 KiB shared memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hpc.device import DeviceProperties
+
+__all__ = ["OccupancyLimits", "OccupancyResult", "occupancy"]
+
+
+@dataclass(frozen=True)
+class OccupancyLimits:
+    """Per-SM hardware ceilings (Fermi defaults)."""
+
+    max_blocks_per_sm: int = 8
+    max_threads_per_sm: int = 1536
+
+    def __post_init__(self):
+        if self.max_blocks_per_sm <= 0 or self.max_threads_per_sm <= 0:
+            raise ConfigurationError("occupancy limits must be positive")
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Occupancy for one kernel configuration.
+
+    Attributes
+    ----------
+    blocks_per_sm:
+        Resident blocks per multiprocessor.
+    occupancy_fraction:
+        Resident threads over the SM's thread ceiling (the headline
+        number of the CUDA calculator).
+    limiter:
+        Which resource bound first: ``"shared"``, ``"threads"``, or
+        ``"blocks"``.
+    """
+
+    blocks_per_sm: int
+    occupancy_fraction: float
+    limiter: str
+
+
+def occupancy(
+    properties: DeviceProperties,
+    threads_per_block: int,
+    shared_bytes_per_block: int,
+    limits: OccupancyLimits | None = None,
+) -> OccupancyResult:
+    """Occupancy of a kernel configuration on the modelled device."""
+    if threads_per_block <= 0:
+        raise ConfigurationError("threads_per_block must be positive")
+    if shared_bytes_per_block < 0:
+        raise ConfigurationError("shared_bytes_per_block must be non-negative")
+    limits = limits or OccupancyLimits()
+
+    by_blocks = limits.max_blocks_per_sm
+    by_threads = limits.max_threads_per_sm // threads_per_block
+    if shared_bytes_per_block > 0:
+        by_shared = properties.shared_mem_per_block_bytes // shared_bytes_per_block
+    else:
+        by_shared = by_blocks  # shared memory never binds
+    if by_threads == 0 or by_shared == 0:
+        # A single block that exceeds a per-SM resource cannot launch.
+        raise ConfigurationError(
+            "kernel configuration exceeds per-SM resources "
+            f"(threads_per_block={threads_per_block}, "
+            f"shared_bytes_per_block={shared_bytes_per_block})"
+        )
+    blocks = min(by_blocks, by_threads, by_shared)
+    if blocks == by_shared and by_shared < min(by_blocks, by_threads):
+        limiter = "shared"
+    elif blocks == by_threads and by_threads < min(by_blocks, by_shared):
+        limiter = "threads"
+    else:
+        limiter = "blocks"
+    fraction = min(1.0, blocks * threads_per_block / limits.max_threads_per_sm)
+    return OccupancyResult(blocks_per_sm=blocks,
+                           occupancy_fraction=fraction,
+                           limiter=limiter)

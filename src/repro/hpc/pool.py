@@ -1,0 +1,58 @@
+"""Portable work-pool wrapper (real processes when available, serial otherwise).
+
+The multicore engine and the MapReduce runtime can execute tasks through
+this wrapper.  On single-core or fork-restricted hosts the pool degrades
+to serial execution with identical results — parallelism in this library
+never changes answers, only wall time.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["WorkPool", "available_parallelism"]
+
+
+def available_parallelism() -> int:
+    """Usable worker count on this host."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+class WorkPool:
+    """Map tasks over workers; serial when ``n_workers <= 1``.
+
+    Parameters
+    ----------
+    n_workers:
+        Desired workers; ``None`` means the host's available parallelism.
+
+    Notes
+    -----
+    Tasks must be picklable top-level callables when ``n_workers > 1``.
+    """
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        self.n_workers = n_workers if n_workers is not None else available_parallelism()
+        if self.n_workers < 1:
+            self.n_workers = 1
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Apply ``fn`` to each item, preserving order."""
+        if self.n_workers == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+            return list(pool.map(fn, items))
+
+    def starmap(self, fn: Callable, arg_tuples: Iterable[tuple]) -> list:
+        """Apply ``fn(*args)`` per tuple, preserving order."""
+        tuples = list(arg_tuples)
+        if self.n_workers == 1 or len(tuples) <= 1:
+            return [fn(*args) for args in tuples]
+        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+            futures = [pool.submit(fn, *args) for args in tuples]
+            return [f.result() for f in futures]

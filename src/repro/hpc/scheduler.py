@@ -1,0 +1,86 @@
+"""Task scheduling policies for simulated parallel execution.
+
+Two schedulers cover the pipeline's needs: static block scheduling for
+the regular stage-2 trial loop (every trial costs about the same) and a
+dynamic greedy scheduler for irregular stage-1 event batches (footprint
+sizes vary wildly).  Both expose the assignment and the modelled makespan
+so benches can report load balance, and both are exact algorithms over
+caller-supplied task costs — no randomness.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ClusterError
+
+__all__ = ["Assignment", "StaticScheduler", "DynamicScheduler"]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """Result of scheduling: per-worker task lists and modelled times."""
+
+    tasks_by_worker: tuple[tuple[int, ...], ...]
+    seconds_by_worker: tuple[float, ...]
+
+    @property
+    def makespan(self) -> float:
+        return max(self.seconds_by_worker) if self.seconds_by_worker else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """Makespan divided by mean worker time (1.0 = perfectly balanced)."""
+        if not self.seconds_by_worker:
+            return 1.0
+        mean = sum(self.seconds_by_worker) / len(self.seconds_by_worker)
+        return self.makespan / mean if mean > 0 else 1.0
+
+
+class StaticScheduler:
+    """Contiguous block assignment (rank ``i`` gets the ``i``-th span).
+
+    This is the natural YET decomposition: each worker simulates a
+    contiguous block of trials, so output ordering is trivial.
+    """
+
+    def assign(self, task_seconds: Sequence[float], n_workers: int) -> Assignment:
+        if n_workers <= 0:
+            raise ClusterError(f"n_workers must be positive, got {n_workers}")
+        n = len(task_seconds)
+        base, extra = divmod(n, n_workers)
+        tasks: list[tuple[int, ...]] = []
+        seconds: list[float] = []
+        start = 0
+        for w in range(n_workers):
+            count = base + (1 if w < extra else 0)
+            span = tuple(range(start, start + count))
+            tasks.append(span)
+            seconds.append(sum(task_seconds[i] for i in span))
+            start += count
+        return Assignment(tuple(tasks), tuple(seconds))
+
+
+class DynamicScheduler:
+    """Greedy longest-processing-time-first assignment (a 4/3-approximation).
+
+    Models a work-queue runtime: big tasks are claimed first, each by the
+    least-loaded worker.  Used for stage-1 event batches and MapReduce
+    task-time makespans.
+    """
+
+    def assign(self, task_seconds: Sequence[float], n_workers: int) -> Assignment:
+        if n_workers <= 0:
+            raise ClusterError(f"n_workers must be positive, got {n_workers}")
+        order = sorted(range(len(task_seconds)), key=lambda i: -task_seconds[i])
+        heap: list[tuple[float, int]] = [(0.0, w) for w in range(n_workers)]
+        heapq.heapify(heap)
+        tasks: list[list[int]] = [[] for _ in range(n_workers)]
+        for i in order:
+            load, w = heapq.heappop(heap)
+            tasks[w].append(i)
+            heapq.heappush(heap, (load + task_seconds[i], w))
+        seconds = [sum(task_seconds[i] for i in ts) for ts in tasks]
+        return Assignment(tuple(tuple(ts) for ts in tasks), tuple(seconds))

@@ -1,0 +1,21 @@
+"""Shared low-level utilities: RNG hierarchy, timing, statistics, tables."""
+
+from repro.util.rng import RngHierarchy, spawn_generator
+from repro.util.timing import Stopwatch, ThroughputMeter
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability_vector,
+)
+
+__all__ = [
+    "RngHierarchy",
+    "spawn_generator",
+    "Stopwatch",
+    "ThroughputMeter",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability_vector",
+]

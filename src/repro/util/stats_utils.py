@@ -1,0 +1,91 @@
+"""Empirical statistics shared by the metrics and analytics layers.
+
+The portfolio metrics of §II (PML, TVaR) and the exceedance-probability
+curves of :mod:`repro.analytics.ep_curves` all reduce to operations on an
+empirical sample of annual losses (one value per simulated trial year).
+This module holds the sample-level primitives: quantiles with the
+actuarial conventions used by YLT tooling, exceedance probabilities, and
+tail expectations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "empirical_quantile",
+    "exceedance_probability",
+    "tail_expectation",
+    "return_period_loss",
+    "loss_at_probability",
+    "standard_error_of_mean",
+]
+
+
+def _as_sample(losses) -> np.ndarray:
+    arr = np.asarray(losses, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise AnalysisError("empty loss sample")
+    if not np.isfinite(arr).all():
+        raise AnalysisError("loss sample contains non-finite values")
+    return arr
+
+
+def empirical_quantile(losses, q: float) -> float:
+    """Empirical quantile with linear interpolation (NumPy default).
+
+    ``q`` is the non-exceedance probability: ``empirical_quantile(x, 0.99)``
+    is the loss exceeded in ~1% of trial years.
+    """
+    if not (0.0 <= q <= 1.0):
+        raise AnalysisError(f"quantile level must lie in [0,1], got {q}")
+    return float(np.quantile(_as_sample(losses), q))
+
+
+def exceedance_probability(losses, threshold: float) -> float:
+    """Fraction of trial years with loss strictly greater than ``threshold``."""
+    arr = _as_sample(losses)
+    return float(np.count_nonzero(arr > threshold) / arr.size)
+
+
+def tail_expectation(losses, q: float) -> float:
+    """Mean of the worst ``(1-q)`` fraction of the sample (the TVaR kernel).
+
+    Uses the conditional-expectation convention ``E[X | X >= VaR_q]``; when
+    several sample points tie with the VaR the ties are included, which
+    keeps the estimator monotone in ``q`` and ≥ the quantile itself.
+    """
+    arr = _as_sample(losses)
+    var = empirical_quantile(arr, q)
+    tail = arr[arr >= var]
+    if tail.size == 0:  # can only happen with q == 1 and fp round-off
+        return float(arr.max())
+    return float(tail.mean())
+
+
+def return_period_loss(losses, years: float) -> float:
+    """Loss with a mean recurrence interval of ``years`` (the PML convention).
+
+    A ``years``-year return period corresponds to exceedance probability
+    ``1/years`` per contractual year, i.e. the ``1 - 1/years`` quantile.
+    """
+    if years <= 1.0:
+        raise AnalysisError(f"return period must exceed 1 year, got {years}")
+    return empirical_quantile(losses, 1.0 - 1.0 / years)
+
+
+def loss_at_probability(losses, p_exceed: float) -> float:
+    """Loss whose exceedance probability is ``p_exceed`` (inverse EP curve)."""
+    if not (0.0 < p_exceed < 1.0):
+        raise AnalysisError(f"exceedance probability must lie in (0,1), got {p_exceed}")
+    return empirical_quantile(losses, 1.0 - p_exceed)
+
+
+def standard_error_of_mean(losses) -> float:
+    """Monte-Carlo standard error of the sample mean."""
+    arr = _as_sample(losses)
+    if arr.size < 2:
+        raise AnalysisError("need at least two observations for a standard error")
+    return float(arr.std(ddof=1) / np.sqrt(arr.size))

@@ -1,0 +1,37 @@
+"""Shared fixtures: deterministic small workloads and RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import build_layer_workload, build_portfolio_workload
+from repro.util.rng import RngHierarchy
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def hier() -> RngHierarchy:
+    return RngHierarchy(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_workload():
+    """1 layer, 2 small ELTs, 200 trials — fast enough for every engine."""
+    return build_layer_workload(
+        n_trials=200, mean_events_per_trial=25.0, n_elts=2,
+        elt_rows=150, catalog_events=500, seed=99,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_portfolio_workload():
+    """3 layers x 2 ELTs, 300 trials — multi-layer coverage."""
+    return build_portfolio_workload(
+        n_layers=3, n_trials=300, mean_events_per_trial=30.0,
+        elts_per_layer=2, elt_rows=120, catalog_events=600, seed=101,
+    )

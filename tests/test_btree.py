@@ -1,0 +1,90 @@
+"""Tests for the B+-tree index."""
+
+import numpy as np
+import pytest
+
+from repro.data.btree import BPlusTree
+from repro.errors import ConfigurationError, StorageError
+
+
+class TestBasics:
+    def test_insert_get(self):
+        t = BPlusTree(order=4)
+        t.insert(5, "five")
+        assert t.get(5) == "five"
+
+    def test_missing_key_raises(self):
+        t = BPlusTree(order=4)
+        t.insert(1, "x")
+        with pytest.raises(StorageError):
+            t.get(2)
+
+    def test_overwrite_does_not_grow(self):
+        t = BPlusTree(order=4)
+        t.insert(1, "a")
+        t.insert(1, "b")
+        assert len(t) == 1
+        assert t.get(1) == "b"
+
+    def test_contains(self):
+        t = BPlusTree(order=4)
+        t.insert(3, None)
+        assert t.contains(3) and not t.contains(4)
+
+    def test_order_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BPlusTree(order=2)
+
+
+class TestScaling:
+    @pytest.mark.parametrize("order", [3, 4, 16, 64])
+    def test_thousand_keys_all_orders(self, order):
+        t = BPlusTree(order=order)
+        keys = np.random.default_rng(0).permutation(1000)
+        for k in keys:
+            t.insert(int(k), int(k) * 2)
+        assert len(t) == 1000
+        for k in (0, 17, 500, 999):
+            assert t.get(k) == k * 2
+
+    def test_height_grows_logarithmically(self):
+        t = BPlusTree(order=4)
+        for i in range(1000):
+            t.insert(i, i)
+        # order-4 tree of 1000 keys: height must stay small
+        assert t.height <= 8
+
+    def test_node_visits_counted(self):
+        t = BPlusTree(order=4)
+        for i in range(100):
+            t.insert(i, i)
+        before = t.node_visits
+        t.get(50)
+        assert t.node_visits > before
+
+
+class TestOrderedAccess:
+    def make_tree(self, n=200, order=5):
+        t = BPlusTree(order=order)
+        for k in np.random.default_rng(1).permutation(n):
+            t.insert(int(k), int(k))
+        return t
+
+    def test_items_sorted(self):
+        t = self.make_tree()
+        keys = [k for k, _ in t.items()]
+        assert keys == sorted(keys)
+        assert len(keys) == 200
+
+    def test_range_scan_inclusive(self):
+        t = self.make_tree()
+        got = [k for k, _ in t.range_scan(10, 20)]
+        assert got == list(range(10, 21))
+
+    def test_range_scan_empty_range(self):
+        t = self.make_tree()
+        assert list(t.range_scan(1000, 2000)) == []
+
+    def test_range_scan_values(self):
+        t = self.make_tree()
+        assert [v for _, v in t.range_scan(5, 7)] == [5, 6, 7]

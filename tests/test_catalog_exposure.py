@@ -1,0 +1,110 @@
+"""Tests for catalogue and exposure generation."""
+
+import numpy as np
+import pytest
+
+from repro.catmod.catalog import EventCatalog, generate_catalog
+from repro.catmod.exposure import ConstructionClass, generate_exposure
+from repro.catmod.geography import Region
+from repro.catmod.perils import PerilKind, standard_perils
+from repro.errors import ConfigurationError
+
+REGION = Region(25.0, 33.0, -98.0, -80.0)
+
+
+class TestGenerateCatalog:
+    def make(self, n=500, seed=0):
+        return generate_catalog(standard_perils(), REGION, n,
+                                np.random.default_rng(seed))
+
+    def test_row_count_and_unique_ids(self):
+        cat = self.make(500)
+        assert cat.n_events == 500
+        assert np.unique(cat.event_ids).size == 500
+
+    def test_total_rate_matches_book(self):
+        book = standard_perils()
+        cat = self.make(1000)
+        expect = sum(p.annual_rate for p in book.values())
+        assert cat.total_rate == pytest.approx(expect, rel=1e-9)
+
+    def test_total_rate_independent_of_resolution(self):
+        a = self.make(200).total_rate
+        b = self.make(2000).total_rate
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_events_inside_region(self):
+        cat = self.make()
+        assert REGION.contains(cat.table["lat"], cat.table["lon"]).all()
+
+    def test_peril_split_proportional_to_rate(self):
+        book = standard_perils()
+        cat = self.make(4000)
+        total_rate = sum(p.annual_rate for p in book.values())
+        for kind, peril in book.items():
+            sub = cat.for_peril(kind)
+            expect = peril.annual_rate / total_rate
+            assert sub.n_events / cat.n_events == pytest.approx(expect, abs=0.05)
+
+    def test_deterministic(self):
+        a = self.make(seed=3)
+        b = self.make(seed=3)
+        assert a.table.equals(b.table)
+
+    def test_zero_events_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make(0)
+
+    def test_no_perils_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_catalog({}, REGION, 10, np.random.default_rng(0))
+
+    def test_wrapper_validates_duplicate_ids(self):
+        cat = self.make(10)
+        bad = cat.table.take(np.array([0, 0, 1]))
+        with pytest.raises(ConfigurationError):
+            EventCatalog(bad)
+
+
+class TestGenerateExposure:
+    def make(self, n=1000, seed=0):
+        return generate_exposure(REGION, n, np.random.default_rng(seed))
+
+    def test_counts_and_positive_values(self):
+        exp = self.make(1000)
+        assert exp.n_sites == 1000
+        assert (exp.table["value"] > 0).all()
+        assert exp.total_value > 0
+
+    def test_sites_inside_region(self):
+        exp = self.make()
+        assert REGION.contains(exp.table["lat"], exp.table["lon"]).all()
+
+    def test_construction_classes_valid(self):
+        exp = self.make()
+        assert set(np.unique(exp.table["construction"])) <= set(ConstructionClass.ALL)
+
+    def test_value_drives_construction_mix(self):
+        """High-value sites use engineered construction more often."""
+        exp = self.make(5000)
+        value = exp.table["value"]
+        cons = exp.table["construction"]
+        rich = cons[value > np.quantile(value, 0.8)]
+        poor = cons[value < np.quantile(value, 0.2)]
+        steel_rich = (rich >= ConstructionClass.CONCRETE).mean()
+        steel_poor = (poor >= ConstructionClass.CONCRETE).mean()
+        assert steel_rich > steel_poor
+
+    def test_heavy_tailed_values(self):
+        exp = self.make(5000)
+        v = exp.table["value"]
+        assert v.max() > 10 * np.median(v)
+
+    def test_deterministic(self):
+        a = self.make(seed=5)
+        b = self.make(seed=5)
+        assert a.table.equals(b.table)
+
+    def test_zero_sites_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make(0)

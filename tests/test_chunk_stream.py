@@ -1,0 +1,116 @@
+"""Tests for chunk planning and streaming scans."""
+
+import numpy as np
+import pytest
+
+from repro.data.chunk import iter_chunks, plan_chunks, rows_for_budget
+from repro.data.columnar import ColumnTable
+from repro.data.schema import Schema
+from repro.data.stream import TableScan
+from repro.errors import AnalysisError, ConfigurationError
+
+S = Schema([("k", np.int64), ("v", np.float64)])
+
+
+def make(n):
+    return ColumnTable.from_arrays(
+        S, k=np.arange(n) % 7, v=np.arange(n, dtype=np.float64)
+    )
+
+
+class TestPlanChunks:
+    def test_exact_cover_no_overlap(self):
+        specs = plan_chunks(10, 3)
+        assert [(s.start, s.stop) for s in specs] == [(0, 3), (3, 6), (6, 9), (9, 10)]
+        assert sum(s.n_rows for s in specs) == 10
+
+    def test_empty(self):
+        assert plan_chunks(0, 5) == []
+
+    def test_single_chunk(self):
+        specs = plan_chunks(3, 100)
+        assert len(specs) == 1 and specs[0].n_rows == 3
+
+    @pytest.mark.parametrize("bad_rows", [0, -1])
+    def test_bad_chunk_size_rejected(self, bad_rows):
+        with pytest.raises(ConfigurationError):
+            plan_chunks(10, bad_rows)
+
+    def test_negative_n_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_chunks(-1, 5)
+
+
+class TestRowsForBudget:
+    def test_floor_division(self):
+        assert rows_for_budget(16, 100) == 6
+
+    def test_too_small_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rows_for_budget(16, 8)
+
+
+class TestIterChunks:
+    def test_chunks_are_views_covering_table(self):
+        t = make(10)
+        seen = 0
+        for spec, chunk in iter_chunks(t, 4):
+            assert chunk.n_rows == spec.n_rows
+            seen += chunk.n_rows
+        assert seen == 10
+
+
+class TestTableScan:
+    def test_sum_matches_direct(self):
+        t = make(1000)
+        assert TableScan(t, rows_per_chunk=64).sum("v") == pytest.approx(t["v"].sum())
+
+    def test_filter_then_sum(self):
+        t = make(100)
+        got = TableScan(t, rows_per_chunk=7).filter(lambda c: c["k"] == 0).sum("v")
+        expect = t["v"][t["k"] == 0].sum()
+        assert got == pytest.approx(expect)
+
+    def test_map_stage(self):
+        t = make(50)
+        scan = TableScan(t, rows_per_chunk=8).map(
+            lambda c: ColumnTable.from_arrays(S, k=c["k"], v=c["v"] * 2.0)
+        )
+        assert scan.sum("v") == pytest.approx(2.0 * t["v"].sum())
+
+    def test_stats_recorded(self):
+        t = make(100)
+        scan = TableScan(t, rows_per_chunk=30)
+        scan.sum("v")
+        assert scan.stats.chunks_read == 4
+        assert scan.stats.rows_read == 100
+        assert scan.stats.bytes_read == t.nbytes
+
+    def test_groupby_sum_matches_table(self):
+        t = make(500)
+        streamed = TableScan(t, rows_per_chunk=37).groupby_sum("k", "v")
+        direct = t.groupby_sum("k", "v")
+        assert streamed.sort_by("k").equals(direct.sort_by("k"), rtol=1e-12)
+
+    def test_groupby_on_empty_scan_rejected(self):
+        t = make(10)
+        scan = TableScan(t).filter(lambda c: c["k"] > 100)
+        with pytest.raises(AnalysisError):
+            scan.groupby_sum("k", "v")
+
+    def test_collect_roundtrip(self):
+        t = make(64)
+        assert TableScan(t, rows_per_chunk=10).collect().equals(t)
+
+    def test_collect_empty_result_keeps_schema(self):
+        t = make(10)
+        out = TableScan(t).filter(lambda c: c["k"] > 100).collect()
+        assert out.n_rows == 0
+        assert out.schema == t.schema
+
+    def test_reduce_fold(self):
+        t = make(100)
+        count = TableScan(t, rows_per_chunk=9).reduce(
+            lambda acc, chunk: acc + chunk.n_rows, 0
+        )
+        assert count == 100

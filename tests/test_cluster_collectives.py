@@ -1,0 +1,111 @@
+"""Tests for the simulated cluster and its collectives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusterError
+from repro.hpc.cluster import NetworkModel, SimCluster
+from repro.hpc.collectives import Collectives
+
+
+class TestNetworkModel:
+    def test_transfer_time_alpha_beta(self):
+        net = NetworkModel(latency_s=1e-3, bandwidth_bytes_per_s=1e6)
+        assert net.transfer_seconds(0) == pytest.approx(1e-3)
+        assert net.transfer_seconds(10**6) == pytest.approx(1e-3 + 1.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ClusterError):
+            NetworkModel().transfer_seconds(-1)
+
+
+class TestSimCluster:
+    def test_node_count(self):
+        assert SimCluster(5).n_nodes == 5
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ClusterError):
+            SimCluster(0)
+
+    def test_unknown_rank_rejected(self):
+        with pytest.raises(ClusterError):
+            SimCluster(2).node(7)
+
+    def test_run_spmd_collects_results(self):
+        cluster = SimCluster(4)
+        out = cluster.run(lambda node: node.rank ** 2)
+        assert out == [0, 1, 4, 9]
+
+    def test_run_subset_of_ranks(self):
+        cluster = SimCluster(4)
+        assert cluster.run(lambda n: n.rank, ranks=[1, 3]) == [1, 3]
+
+    def test_node_memory_isolated(self):
+        cluster = SimCluster(2)
+        cluster.node(0).memory.alloc("x", 10, np.float64)
+        assert "x" not in cluster.node(1).memory
+
+
+class TestCollectives:
+    def setup_method(self):
+        self.cluster = SimCluster(4)
+        self.co = Collectives(self.cluster)
+
+    def test_bcast_replicates(self):
+        payload = np.arange(10)
+        self.co.bcast("w", payload)
+        for node in self.cluster.nodes:
+            np.testing.assert_array_equal(node.store["w"], payload)
+
+    def test_bcast_charges_log_rounds(self):
+        payload = np.zeros(1000)
+        self.co.bcast("w", payload)
+        # 4 nodes -> 2 rounds of payload-size messages
+        assert self.cluster.comm_bytes == 2 * payload.nbytes
+
+    def test_scatter_and_gather_roundtrip(self):
+        parts = [np.full(3, r) for r in range(4)]
+        self.co.scatter("p", parts)
+        gathered = self.co.gather("p")
+        for r, arr in enumerate(gathered):
+            np.testing.assert_array_equal(arr, parts[r])
+
+    def test_scatter_wrong_count_rejected(self):
+        with pytest.raises(ClusterError):
+            self.co.scatter("p", [1, 2])
+
+    def test_gather_missing_value_rejected(self):
+        with pytest.raises(ClusterError):
+            self.co.gather("never_set")
+
+    def test_reduce_sum(self):
+        self.co.scatter("v", [np.full(2, float(r)) for r in range(4)])
+        total = self.co.reduce("v")
+        np.testing.assert_array_equal(total, [6.0, 6.0])
+
+    def test_reduce_custom_op(self):
+        self.co.scatter("v", [np.array([r]) for r in range(4)])
+        out = self.co.reduce("v", op=np.maximum)
+        assert out[0] == 3
+
+    def test_allreduce_lands_everywhere(self):
+        self.co.scatter("v", [np.array([1.0])] * 4)
+        result = self.co.allreduce("v")
+        assert result[0] == 4.0
+        for node in self.cluster.nodes:
+            assert node.store["v"][0] == 4.0
+
+    def test_invalid_root_rejected(self):
+        with pytest.raises(ClusterError):
+            self.co.bcast("x", 1, root=9)
+
+    def test_barrier_advances_clock(self):
+        before = self.cluster.comm_seconds
+        self.co.barrier()
+        assert self.cluster.comm_seconds > before
+
+    def test_single_node_cluster_collectives(self):
+        co = Collectives(SimCluster(1))
+        co.bcast("x", np.ones(3))
+        co.scatter("y", [np.ones(2)])
+        assert co.reduce("y")[0] == 1.0

@@ -1,0 +1,162 @@
+"""Tests for columnar compression and the out-of-core engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.engines.outofcore import OutOfCoreEngine
+from repro.core.simulation import AggregateAnalysis
+from repro.data.columnar import ColumnTable
+from repro.data.compression import (
+    compression_ratio,
+    decode_column,
+    encode_column,
+    pack_table_compressed,
+    unpack_table_compressed,
+)
+from repro.data.schema import Schema
+from repro.data.store import ChunkStore
+from repro.errors import EngineError, StorageError
+
+
+class TestColumnCodecs:
+    def test_sorted_ints_roundtrip(self):
+        values = np.arange(1000, dtype=np.int64)
+        codec, payload = encode_column(values)
+        assert codec == "delta-varint"
+        out = decode_column(codec, payload, values.dtype, values.size)
+        np.testing.assert_array_equal(out, values)
+
+    def test_sorted_ints_compress_well(self):
+        values = np.arange(10_000, dtype=np.int64)
+        _, payload = encode_column(values)
+        assert len(payload) < values.nbytes / 5
+
+    def test_negative_ints_roundtrip(self):
+        values = np.array([-5, 3, -1000, 0, 7], dtype=np.int64)
+        codec, payload = encode_column(values)
+        out = decode_column(codec, payload, values.dtype, values.size)
+        np.testing.assert_array_equal(out, values)
+
+    def test_floats_raw(self):
+        values = np.random.default_rng(0).random(100)
+        codec, payload = encode_column(values)
+        assert codec == "raw"
+        out = decode_column(codec, payload, values.dtype, values.size)
+        np.testing.assert_array_equal(out, values)
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(StorageError):
+            decode_column("brotli", b"", np.dtype("f8"), 0)
+
+    def test_truncated_varint_rejected(self):
+        values = np.arange(10, dtype=np.int64)
+        codec, payload = encode_column(values)
+        with pytest.raises(StorageError):
+            decode_column(codec, payload[:-1], values.dtype, values.size)
+
+    @settings(max_examples=40)
+    @given(values=hnp.arrays(np.int64, st.integers(0, 200),
+                             elements=st.integers(-2**40, 2**40)))
+    def test_int_roundtrip_property(self, values):
+        codec, payload = encode_column(values)
+        out = decode_column(codec, payload, values.dtype, values.size)
+        np.testing.assert_array_equal(out, values)
+
+
+class TestCompressedTables:
+    S = Schema([("trial", np.int64), ("seq", np.int32),
+                ("event_id", np.int64), ("loss", np.float64)])
+
+    def make_yet_like(self, n=5000):
+        rng = np.random.default_rng(0)
+        counts = rng.poisson(10, 500)
+        trial = np.repeat(np.arange(500), counts)[:n]
+        n = trial.size
+        return ColumnTable.from_arrays(
+            self.S,
+            trial=trial,
+            seq=np.arange(n) % 13,
+            event_id=rng.integers(0, 10_000, n),
+            loss=rng.lognormal(10, 1, n),
+        )
+
+    def test_roundtrip(self):
+        t = self.make_yet_like()
+        assert unpack_table_compressed(pack_table_compressed(t)).equals(t)
+
+    def test_yet_compresses_meaningfully(self):
+        """Sorted trial + sawtooth seq: the ratio must beat 1.5x overall."""
+        t = self.make_yet_like()
+        assert compression_ratio(t) > 1.5
+
+    def test_empty_table(self):
+        t = ColumnTable(self.S)
+        assert unpack_table_compressed(pack_table_compressed(t)).n_rows == 0
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(StorageError):
+            unpack_table_compressed(b"nope" + b"\x00" * 16)
+
+    def test_truncated_rejected(self):
+        data = pack_table_compressed(self.make_yet_like(100))
+        with pytest.raises(StorageError):
+            unpack_table_compressed(data[:-10])
+
+
+class TestOutOfCoreEngine:
+    def test_matches_vectorized(self, tiny_workload, tmp_path):
+        store = ChunkStore(tmp_path)
+        store.write_table("yet", tiny_workload.yet.table, rows_per_chunk=97)
+        engine = OutOfCoreEngine()
+        res = engine.run_from_store(
+            tiny_workload.portfolio, store, "yet", tiny_workload.yet.n_trials
+        )
+        ref = AggregateAnalysis(tiny_workload.portfolio, tiny_workload.yet
+                                ).run("vectorized")
+        assert res.portfolio_ylt.allclose(ref.portfolio_ylt)
+        assert res.details["chunks_read"] > 1
+        assert res.details["rows_read"] == tiny_workload.yet.n_occurrences
+
+    def test_chunk_size_invariance(self, tiny_workload, tmp_path):
+        results = []
+        for i, rows in enumerate((31, 97, 10_000)):
+            store = ChunkStore(tmp_path / str(i))
+            store.write_table("yet", tiny_workload.yet.table,
+                              rows_per_chunk=rows)
+            res = OutOfCoreEngine().run_from_store(
+                tiny_workload.portfolio, store, "yet",
+                tiny_workload.yet.n_trials,
+            )
+            results.append(res.portfolio_ylt)
+        assert results[0].allclose(results[1])
+        assert results[1].allclose(results[2])
+
+    def test_bad_n_trials_rejected(self, tiny_workload, tmp_path):
+        store = ChunkStore(tmp_path)
+        store.write_table("yet", tiny_workload.yet.table, rows_per_chunk=100)
+        with pytest.raises(EngineError):
+            OutOfCoreEngine().run_from_store(
+                tiny_workload.portfolio, store, "yet", 0
+            )
+
+    def test_wrong_table_rejected(self, tiny_workload, tmp_path):
+        store = ChunkStore(tmp_path)
+        wrong = ColumnTable.from_arrays(
+            Schema([("x", np.int64)]), x=np.arange(10)
+        )
+        store.write_table("notyet", wrong, rows_per_chunk=5)
+        with pytest.raises(EngineError):
+            OutOfCoreEngine().run_from_store(
+                tiny_workload.portfolio, store, "notyet", 10
+            )
+
+    def test_out_of_range_trials_rejected(self, tiny_workload, tmp_path):
+        store = ChunkStore(tmp_path)
+        store.write_table("yet", tiny_workload.yet.table, rows_per_chunk=100)
+        with pytest.raises(EngineError):
+            OutOfCoreEngine().run_from_store(
+                tiny_workload.portfolio, store, "yet", 2  # too few trials
+            )

@@ -1,0 +1,136 @@
+"""Tests for contract assignment and the stage-1 pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.catmod.catalog import generate_catalog
+from repro.catmod.contracts import Contract, assign_contracts
+from repro.catmod.exposure import generate_exposure
+from repro.catmod.financial import PolicyTerms
+from repro.catmod.geography import Region
+from repro.catmod.perils import standard_perils
+from repro.catmod.pipeline import CatModPipeline
+from repro.errors import ConfigurationError
+
+REGION = Region(25.0, 33.0, -98.0, -80.0)
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = np.random.default_rng(0)
+    perils = standard_perils()
+    catalog = generate_catalog(perils, REGION, 120, np.random.default_rng(1))
+    exposure = generate_exposure(REGION, 400, np.random.default_rng(2))
+    contracts = assign_contracts(exposure, 6, np.random.default_rng(3))
+    return perils, catalog, exposure, contracts
+
+
+class TestAssignContracts:
+    def test_partition_covers_all_sites(self, world):
+        _, _, exposure, contracts = world
+        all_sites = np.concatenate([c.site_indices for c in contracts])
+        assert sorted(all_sites.tolist()) == list(range(exposure.n_sites))
+
+    def test_disjoint(self, world):
+        _, _, _, contracts = world
+        all_sites = np.concatenate([c.site_indices for c in contracts])
+        assert np.unique(all_sites).size == all_sites.size
+
+    def test_sizes_uneven(self, world):
+        _, _, _, contracts = world
+        sizes = [c.site_indices.size for c in contracts]
+        assert max(sizes) > min(sizes)
+
+    def test_too_many_contracts_rejected(self, world):
+        _, _, exposure, _ = world
+        with pytest.raises(ConfigurationError):
+            assign_contracts(exposure, exposure.n_sites + 1,
+                             np.random.default_rng(0))
+
+    def test_contract_validation(self):
+        with pytest.raises(ConfigurationError):
+            Contract(-1, np.array([0]), PolicyTerms())
+        with pytest.raises(ConfigurationError):
+            Contract(0, np.array([], dtype=np.int64), PolicyTerms())
+
+
+class TestCatModPipeline:
+    def test_produces_one_elt_per_contract(self, world):
+        perils, catalog, exposure, contracts = world
+        elts, stats = CatModPipeline(perils).run(catalog, exposure, contracts)
+        assert len(elts) == len(contracts)
+        assert [e.contract_id for e in elts] == [c.contract_id for c in contracts]
+
+    def test_stats_pairs(self, world):
+        perils, catalog, exposure, contracts = world
+        _, stats = CatModPipeline(perils).run(catalog, exposure, contracts)
+        assert stats.event_site_pairs == catalog.n_events * exposure.n_sites
+        assert stats.seconds > 0
+        assert stats.pairs_per_second > 0
+
+    def test_deterministic(self, world):
+        perils, catalog, exposure, contracts = world
+        a, _ = CatModPipeline(perils).run(catalog, exposure, contracts)
+        b, _ = CatModPipeline(perils).run(catalog, exposure, contracts)
+        for ea, eb in zip(a, b):
+            assert ea.table.equals(eb.table)
+
+    def test_batch_size_does_not_change_results(self, world):
+        perils, catalog, exposure, contracts = world
+        a, _ = CatModPipeline(perils).run(catalog, exposure, contracts,
+                                          batch_events=7)
+        b, _ = CatModPipeline(perils).run(catalog, exposure, contracts,
+                                          batch_events=64)
+        for ea, eb in zip(a, b):
+            assert ea.table.equals(eb.table)
+
+    def test_event_ids_reference_catalogue(self, world):
+        perils, catalog, exposure, contracts = world
+        elts, _ = CatModPipeline(perils).run(catalog, exposure, contracts)
+        valid = set(catalog.event_ids.tolist())
+        for elt in elts:
+            if elt.mean_losses.sum() > 0:
+                assert set(elt.event_ids.tolist()) <= valid
+
+    def test_losses_non_negative_with_sigma(self, world):
+        perils, catalog, exposure, contracts = world
+        elts, _ = CatModPipeline(perils).run(catalog, exposure, contracts)
+        for elt in elts:
+            assert (elt.mean_losses >= 0).all()
+            assert (elt.sigmas >= 0).all()
+
+    def test_min_loss_threshold_prunes(self, world):
+        perils, catalog, exposure, contracts = world
+        loose, _ = CatModPipeline(perils, min_mean_loss=1.0).run(
+            catalog, exposure, contracts)
+        strict, _ = CatModPipeline(perils, min_mean_loss=1e6).run(
+            catalog, exposure, contracts)
+        assert sum(e.n_events for e in strict) <= sum(e.n_events for e in loose)
+
+    def test_stronger_deductible_lowers_losses(self, world):
+        perils, catalog, exposure, _ = world
+        rng = np.random.default_rng(3)
+        weak = assign_contracts(exposure, 6, np.random.default_rng(3),
+                                terms=PolicyTerms(deductible_fraction=0.0))
+        strong = assign_contracts(exposure, 6, np.random.default_rng(3),
+                                  terms=PolicyTerms(deductible_fraction=0.2))
+        elts_w, _ = CatModPipeline(perils).run(catalog, exposure, weak)
+        elts_s, _ = CatModPipeline(perils).run(catalog, exposure, strong)
+        total_w = sum(e.mean_losses.sum() for e in elts_w)
+        total_s = sum(e.mean_losses.sum() for e in elts_s)
+        assert total_s < total_w
+
+    def test_bad_args_rejected(self, world):
+        perils, catalog, exposure, contracts = world
+        pipe = CatModPipeline(perils)
+        with pytest.raises(ConfigurationError):
+            pipe.run(catalog, exposure, contracts, batch_events=0)
+        with pytest.raises(ConfigurationError):
+            pipe.run(catalog, exposure, [])
+        with pytest.raises(ConfigurationError):
+            CatModPipeline({})
+
+    def test_contracts_must_cover_exposure(self, world):
+        perils, catalog, exposure, contracts = world
+        with pytest.raises(ConfigurationError):
+            CatModPipeline(perils).run(catalog, exposure, contracts[:2])

@@ -1,0 +1,64 @@
+"""Tests for PML / VaR / TVaR metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.tables import YltTable
+from repro.dfa.metrics import (
+    RiskMetrics,
+    probable_maximum_loss,
+    tail_value_at_risk,
+    value_at_risk,
+)
+
+LOSSES = np.arange(1.0, 1001.0)  # 1..1000
+YLT = YltTable(LOSSES)
+
+
+class TestPointMetrics:
+    def test_var_is_quantile(self):
+        assert value_at_risk(YLT, 0.99) == pytest.approx(np.quantile(LOSSES, 0.99))
+
+    def test_tvar_dominates_var(self):
+        for q in (0.5, 0.9, 0.99, 0.995):
+            assert tail_value_at_risk(YLT, q) >= value_at_risk(YLT, q)
+
+    def test_pml_is_return_period_var(self):
+        assert probable_maximum_loss(YLT, 100.0) == \
+            pytest.approx(value_at_risk(YLT, 0.99))
+
+    def test_accepts_raw_arrays(self):
+        assert value_at_risk(LOSSES, 0.5) == value_at_risk(YLT, 0.5)
+
+    def test_pml_monotone_in_return_period(self):
+        pmls = [probable_maximum_loss(YLT, t) for t in (10, 50, 250, 1000)]
+        assert pmls == sorted(pmls)
+
+
+class TestRiskMetrics:
+    def test_from_ylt_complete(self):
+        m = RiskMetrics.from_ylt(YLT)
+        assert m.n_trials == 1000
+        assert m.mean == pytest.approx(500.5)
+        assert set(m.pml) == {10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0}
+        assert set(m.var) == {0.9, 0.95, 0.99, 0.995, 0.999}
+
+    def test_coherence_check_passes(self):
+        RiskMetrics.from_ylt(YLT).check_coherence()
+
+    def test_custom_ladders(self):
+        m = RiskMetrics.from_ylt(YLT, return_periods=(20.0,), tail_levels=(0.8,))
+        assert set(m.pml) == {20.0}
+        assert set(m.tvar) == {0.8}
+
+    def test_degenerate_constant_ylt(self):
+        m = RiskMetrics.from_ylt(YltTable(np.full(100, 7.0)))
+        assert m.std == 0.0
+        assert m.pml[100.0] == 7.0
+        m.check_coherence()
+
+    def test_standard_error_scales(self):
+        rng = np.random.default_rng(0)
+        small = RiskMetrics.from_ylt(YltTable(rng.random(100)))
+        large = RiskMetrics.from_ylt(YltTable(rng.random(100_000)))
+        assert large.standard_error < small.standard_error

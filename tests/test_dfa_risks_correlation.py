@@ -1,0 +1,138 @@
+"""Tests for the non-cat risk generators and the Gaussian copula."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.core.tables import YltTable
+from repro.dfa.correlation import GaussianCopula
+from repro.dfa.risks import (
+    counterparty_risk,
+    interest_rate_risk,
+    investment_risk,
+    market_cycle_risk,
+    operational_risk,
+    reserve_risk,
+)
+from repro.errors import AnalysisError, ConfigurationError
+
+N = 20_000
+RNG = lambda s: np.random.default_rng(s)
+
+ALL_GENERATORS = [
+    investment_risk, reserve_risk, interest_rate_risk,
+    market_cycle_risk, counterparty_risk, operational_risk,
+]
+
+
+class TestRiskGenerators:
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_shape_and_non_negative(self, gen):
+        src = gen(N, RNG(0))
+        assert src.n_trials == N
+        assert (src.ylt.losses >= 0).all()
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_deterministic(self, gen):
+        a = gen(N, RNG(1)).ylt.losses
+        b = gen(N, RNG(1)).ylt.losses
+        np.testing.assert_array_equal(a, b)
+
+    def test_names_distinct(self):
+        names = [g(100, RNG(0)).name for g in ALL_GENERATORS]
+        assert len(set(names)) == len(names)
+
+    def test_investment_loss_frequency(self):
+        """Loss years are roughly P[return < 0] = Phi(-mu/sigma)."""
+        src = investment_risk(N, RNG(2), mu=0.05, sigma=0.12)
+        expect = sps.norm.cdf(-0.05 / 0.12)
+        assert (src.ylt.losses > 0).mean() == pytest.approx(expect, abs=0.02)
+
+    def test_counterparty_default_prob(self):
+        src = counterparty_risk(N, RNG(3), default_prob=0.02)
+        assert (src.ylt.losses > 0).mean() == pytest.approx(0.02, abs=0.005)
+
+    def test_operational_poisson_frequency(self):
+        src = operational_risk(N, RNG(4), annual_rate=0.5)
+        # P[at least one event] = 1 - exp(-0.5)
+        assert (src.ylt.losses > 0).mean() == pytest.approx(
+            1 - np.exp(-0.5), abs=0.02
+        )
+
+    def test_market_cycle_soft_prob(self):
+        src = market_cycle_risk(N, RNG(5), soft_prob=0.3)
+        assert (src.ylt.losses > 0).mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_scaling_with_exposure(self):
+        small = investment_risk(N, RNG(6), assets=1e8).ylt.mean()
+        large = investment_risk(N, RNG(6), assets=1e9).ylt.mean()
+        assert large == pytest.approx(10 * small, rel=1e-9)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            investment_risk(100, RNG(0), assets=-1)
+        with pytest.raises(ConfigurationError):
+            counterparty_risk(100, RNG(0), default_prob=1.5)
+
+
+class TestGaussianCopula:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GaussianCopula(np.array([[1.0, 0.5]]))  # not square
+        with pytest.raises(ConfigurationError):
+            GaussianCopula(np.array([[1.0, 0.9], [0.1, 1.0]]))  # asymmetric
+        with pytest.raises(ConfigurationError):
+            GaussianCopula(np.array([[2.0, 0.0], [0.0, 1.0]]))  # diag != 1
+        with pytest.raises(ConfigurationError):
+            GaussianCopula(np.array([[1.0, 2.0], [2.0, 1.0]]))  # not PSD
+
+    def test_uniform_factory(self):
+        c = GaussianCopula.uniform(4, 0.5)
+        assert c.k == 4
+        assert c.correlation[0, 1] == 0.5
+
+    def test_uniform_infeasible_rho_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GaussianCopula.uniform(3, -0.9)
+
+    def test_reorder_preserves_marginals(self):
+        rng = RNG(7)
+        ylts = [YltTable(rng.lognormal(10, 1, 5000)) for _ in range(3)]
+        copula = GaussianCopula.uniform(3, 0.6)
+        out = copula.reorder(ylts, RNG(8))
+        for a, b in zip(ylts, out):
+            np.testing.assert_allclose(np.sort(a.losses), np.sort(b.losses))
+
+    def test_induced_rank_correlation(self):
+        rng = RNG(9)
+        ylts = [YltTable(rng.lognormal(10, 1, 20_000)) for _ in range(2)]
+        copula = GaussianCopula(np.array([[1.0, 0.7], [0.7, 1.0]]))
+        out = copula.reorder(ylts, RNG(10))
+        rho, _ = sps.spearmanr(out[0].losses, out[1].losses)
+        # Gaussian copula: spearman ~ (6/pi) asin(rho/2) ~ 0.683 for rho=0.7
+        assert rho == pytest.approx(0.683, abs=0.03)
+
+    def test_zero_correlation_near_independent(self):
+        rng = RNG(11)
+        ylts = [YltTable(rng.lognormal(10, 1, 20_000)) for _ in range(2)]
+        out = GaussianCopula.uniform(2, 0.0).reorder(ylts, RNG(12))
+        rho, _ = sps.spearmanr(out[0].losses, out[1].losses)
+        assert abs(rho) < 0.03
+
+    def test_perfect_correlation_supported(self):
+        """rho=1 is PSD-singular; the eigen factor must handle it."""
+        rng = RNG(13)
+        ylts = [YltTable(rng.lognormal(10, 1, 5000)) for _ in range(2)]
+        out = GaussianCopula.uniform(2, 1.0).reorder(ylts, RNG(14))
+        rho, _ = sps.spearmanr(out[0].losses, out[1].losses)
+        assert rho > 0.999
+
+    def test_marginal_count_mismatch_rejected(self):
+        copula = GaussianCopula.uniform(3, 0.2)
+        with pytest.raises(AnalysisError):
+            copula.reorder([YltTable(np.ones(10))], RNG(0))
+
+    def test_trial_count_mismatch_rejected(self):
+        copula = GaussianCopula.uniform(2, 0.2)
+        with pytest.raises(AnalysisError):
+            copula.reorder([YltTable(np.ones(10)), YltTable(np.ones(20))], RNG(0))

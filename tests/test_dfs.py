@@ -1,0 +1,160 @@
+"""Tests for the simulated distributed file system."""
+
+import numpy as np
+import pytest
+
+from repro.data.columnar import ColumnTable
+from repro.data.dfs import SimDfs
+from repro.data.schema import Schema
+from repro.errors import ConfigurationError, StorageError
+
+S = Schema([("k", np.int64), ("v", np.float64)])
+
+
+def make_table(n=100):
+    return ColumnTable.from_arrays(
+        S, k=np.arange(n), v=np.arange(n, dtype=np.float64)
+    )
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_datanodes=0), dict(block_bytes=0), dict(replication=0),
+    ])
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SimDfs(**{"n_datanodes": 4, "block_bytes": 64, "replication": 2, **kwargs})
+
+    def test_replication_capped_at_nodes(self):
+        dfs = SimDfs(n_datanodes=2, replication=5)
+        assert dfs.replication == 2
+
+
+class TestByteFiles:
+    def test_write_read_roundtrip(self):
+        dfs = SimDfs(n_datanodes=4, block_bytes=10, replication=2)
+        data = bytes(range(256)) * 3
+        dfs.write("f", data)
+        assert dfs.read("f") == data
+
+    def test_blocks_split_at_block_size(self):
+        dfs = SimDfs(n_datanodes=3, block_bytes=10, replication=1)
+        dfs.write("f", b"x" * 25)
+        blocks = dfs.file_blocks("f")
+        assert [b.length for b in blocks] == [10, 10, 5]
+
+    def test_empty_file(self):
+        dfs = SimDfs(n_datanodes=2)
+        dfs.write("f", b"")
+        assert dfs.read("f") == b""
+
+    def test_duplicate_path_rejected(self):
+        dfs = SimDfs(n_datanodes=2)
+        dfs.write("f", b"a")
+        with pytest.raises(StorageError):
+            dfs.write("f", b"b")
+
+    def test_missing_file_rejected(self):
+        with pytest.raises(StorageError):
+            SimDfs(n_datanodes=2).read("nope")
+
+    def test_delete_frees_blocks(self):
+        dfs = SimDfs(n_datanodes=2, block_bytes=4, replication=2)
+        dfs.write("f", b"x" * 16)
+        assert dfs.total_stored_bytes() == 32  # 16 bytes x 2 replicas
+        dfs.delete("f")
+        assert dfs.total_stored_bytes() == 0
+        assert not dfs.exists("f")
+
+    def test_list_files(self):
+        dfs = SimDfs(n_datanodes=2)
+        dfs.write("b", b"1")
+        dfs.write("a", b"2")
+        assert dfs.list_files() == ["a", "b"]
+
+
+class TestTableFiles:
+    def test_roundtrip(self):
+        dfs = SimDfs(n_datanodes=4)
+        t = make_table(50)
+        dfs.write_table("t", t, rows_per_block=7)
+        assert dfs.read_table("t").equals(t)
+
+    def test_blocks_decode_independently(self):
+        dfs = SimDfs(n_datanodes=4)
+        t = make_table(30)
+        dfs.write_table("t", t, rows_per_block=10)
+        parts = dfs.read_table_blocks("t")
+        assert [p.n_rows for p in parts] == [10, 10, 10]
+        assert ColumnTable.concat(parts).equals(t)
+
+    def test_empty_table_single_block(self):
+        dfs = SimDfs(n_datanodes=2)
+        dfs.write_table("t", ColumnTable(S), rows_per_block=10)
+        assert dfs.read_table("t").n_rows == 0
+
+
+class TestReplicationAndFailure:
+    def test_replication_factor_met(self):
+        dfs = SimDfs(n_datanodes=5, replication=3)
+        dfs.write("f", b"payload")
+        for b in dfs.file_blocks("f"):
+            assert dfs.replication_of(b.block_id) == 3
+
+    def test_read_survives_single_failure(self):
+        dfs = SimDfs(n_datanodes=4, replication=2, block_bytes=4)
+        data = b"abcdefgh"
+        dfs.write("f", data)
+        dfs.kill_node(0)
+        assert dfs.read("f") == data
+
+    def test_re_replication_restores_factor(self):
+        dfs = SimDfs(n_datanodes=5, replication=3, block_bytes=4)
+        dfs.write("f", b"0123456789abcdef")
+        dfs.kill_node(1)
+        created = dfs.re_replicate()
+        assert created > 0
+        for b in dfs.file_blocks("f"):
+            assert dfs.replication_of(b.block_id) == 3
+
+    def test_data_intact_after_recovery(self):
+        dfs = SimDfs(n_datanodes=5, replication=2, block_bytes=8)
+        data = bytes(range(200))
+        dfs.write("f", data)
+        dfs.kill_node(2)
+        dfs.re_replicate()
+        assert dfs.read("f") == data
+
+    def test_all_replicas_lost_raises(self):
+        dfs = SimDfs(n_datanodes=2, replication=1)
+        dfs.write("f", b"x")
+        # kill both nodes: whichever held the block, it is now gone
+        dfs.kill_node(0)
+        dfs.kill_node(1)
+        with pytest.raises(StorageError):
+            dfs.read("f")
+
+    def test_restart_node(self):
+        dfs = SimDfs(n_datanodes=2, replication=2)
+        dfs.kill_node(0)
+        assert dfs.n_live_nodes == 1
+        dfs.restart_node(0)
+        assert dfs.n_live_nodes == 2
+
+    def test_kill_unknown_node_rejected(self):
+        with pytest.raises(StorageError):
+            SimDfs(n_datanodes=2).kill_node(17)
+
+    def test_cannot_place_replicas_when_too_few_live(self):
+        dfs = SimDfs(n_datanodes=2, replication=2)
+        dfs.kill_node(0)
+        with pytest.raises(StorageError):
+            dfs.write("f", b"x")
+
+
+class TestPlacement:
+    def test_blocks_spread_across_nodes(self):
+        dfs = SimDfs(n_datanodes=4, replication=1, block_bytes=4)
+        dfs.write("f", b"x" * 64)  # 16 blocks over 4 nodes
+        used = [n.used_bytes for n in dfs._nodes.values()]
+        assert min(used) > 0, "round-robin placement must touch every node"

@@ -1,0 +1,67 @@
+"""Tests for the elastic-provisioning comparison."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hpc.elasticity import DemandPhase, compare_provisioning
+
+
+def pipeline_week():
+    """A §II-shaped week: long cheap stage 1, short massive stages 2-3."""
+    return [
+        DemandPhase("stage1 (modelling)", n_procs=2, hours=100.0),
+        DemandPhase("stage2 (portfolio)", n_procs=3000, hours=0.5),
+        DemandPhase("stage3 (DFA)", n_procs=500, hours=0.5),
+        DemandPhase("idle", n_procs=0, hours=67.0),
+    ]
+
+
+class TestCompareProvisioning:
+    def test_elastic_beats_fixed_on_bursty_profile(self):
+        plans = compare_provisioning(pipeline_week())
+        assert plans["elastic"].node_hours < plans["fixed"].node_hours
+        # the §II shape: orders of magnitude cheaper
+        assert plans["fixed"].node_hours / plans["elastic"].node_hours > 50
+
+    def test_fixed_cost_is_peak_times_duration(self):
+        phases = pipeline_week()
+        plans = compare_provisioning(phases)
+        total_hours = sum(p.hours for p in phases)
+        assert plans["fixed"].node_hours == pytest.approx(3000 * total_hours)
+
+    def test_utilisation_bounds(self):
+        plans = compare_provisioning(pipeline_week())
+        for plan in plans.values():
+            assert 0.0 < plan.utilisation <= 1.0
+        assert plans["elastic"].utilisation > plans["fixed"].utilisation
+
+    def test_flat_profile_near_parity(self):
+        """With constant demand, elasticity buys (almost) nothing."""
+        flat = [DemandPhase("steady", 100, 10.0)] * 4
+        plans = compare_provisioning(flat, spin_up_overhead_hours=0.0)
+        assert plans["elastic"].node_hours == pytest.approx(
+            plans["fixed"].node_hours
+        )
+
+    def test_spin_up_overhead_charged_per_scale_up(self):
+        phases = [
+            DemandPhase("a", 10, 1.0),
+            DemandPhase("b", 20, 1.0),   # +10 procs
+            DemandPhase("c", 5, 1.0),    # scale down, free
+            DemandPhase("d", 25, 1.0),   # +20 procs
+        ]
+        base = compare_provisioning(phases, spin_up_overhead_hours=0.0)
+        with_overhead = compare_provisioning(phases, spin_up_overhead_hours=1.0)
+        extra = (with_overhead["elastic"].node_hours
+                 - base["elastic"].node_hours)
+        assert extra == pytest.approx(10 + 20 + 10)  # first phase also spins up
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            compare_provisioning([])
+        with pytest.raises(ConfigurationError):
+            DemandPhase("x", -1, 1.0)
+        with pytest.raises(ConfigurationError):
+            DemandPhase("x", 1, -1.0)
+        with pytest.raises(ConfigurationError):
+            compare_provisioning(pipeline_week(), spin_up_overhead_hours=-1)

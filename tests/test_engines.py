@@ -1,0 +1,267 @@
+"""Tests for the six aggregate-analysis engines.
+
+The central invariant: every engine reproduces the sequential oracle's
+YLT exactly (to fp tolerance), whatever its execution substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics.comparison import assert_engines_equivalent, compare_engines
+from repro.core.engines import (
+    DeviceEngine,
+    DistributedEngine,
+    MapReduceEngine,
+    MulticoreEngine,
+    SequentialEngine,
+    VectorizedEngine,
+    available_engines,
+    get_engine,
+)
+from repro.core.simulation import AggregateAnalysis
+from repro.core.tables import EltTable, YetTable
+from repro.core.terms import LayerTerms
+from repro.core.layer import Layer
+from repro.core.portfolio import Portfolio
+from repro.data.columnar import ColumnTable
+from repro.errors import EngineError
+from repro.hpc.device import DeviceProperties, SimulatedGpu
+
+ALL_ENGINES = ["sequential", "vectorized", "device", "multicore",
+               "mapreduce", "distributed"]
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_engines()) == set(ALL_ENGINES)
+
+    def test_get_engine(self):
+        assert get_engine("vectorized").name == "vectorized"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(EngineError):
+            get_engine("quantum")
+
+    def test_kwargs_forwarded(self):
+        eng = get_engine("distributed", n_nodes=3)
+        assert eng.cluster.n_nodes == 3
+
+
+class TestEquivalence:
+    def test_all_engines_match_oracle(self, tiny_workload):
+        assert_engines_equivalent(
+            tiny_workload.portfolio, tiny_workload.yet, ALL_ENGINES
+        )
+
+    def test_multi_layer_portfolio(self, small_portfolio_workload):
+        assert_engines_equivalent(
+            small_portfolio_workload.portfolio, small_portfolio_workload.yet,
+            ALL_ENGINES,
+        )
+
+    def test_compare_engines_reports_diffs(self, tiny_workload):
+        report = compare_engines(
+            tiny_workload.portfolio, tiny_workload.yet, ["vectorized"]
+        )
+        assert report["vectorized"]["max_abs_diff"] < 1e-6
+
+    @pytest.mark.parametrize("terms", [
+        LayerTerms(),                                              # pass-through
+        LayerTerms(occ_retention=1e12),                            # nothing attaches
+        LayerTerms(occ_limit=1.0),                                 # everything capped
+        LayerTerms(agg_retention=1e15),                            # aggregate wipes out
+        LayerTerms(agg_limit=10.0),                                # tiny annual cap
+        LayerTerms(participation=0.1),
+        LayerTerms(occ_retention=5e5, occ_limit=2e6,
+                   agg_retention=1e6, agg_limit=1e8, participation=0.5),
+    ])
+    def test_equivalence_across_terms_extremes(self, tiny_workload, terms):
+        layer = Layer(0, tiny_workload.portfolio.layers[0].elts, terms)
+        assert_engines_equivalent(Portfolio([layer]), tiny_workload.yet,
+                                  ALL_ENGINES)
+
+    def test_yet_with_empty_trials(self):
+        """Trials with zero occurrences must appear as zero-loss years."""
+        elt = EltTable.from_arrays([1, 2], [100.0, 200.0])
+        from repro.core.tables import YET_SCHEMA
+
+        table = ColumnTable.from_arrays(
+            YET_SCHEMA, trial=[1, 1, 3], seq=[0, 1, 0], event_id=[1, 2, 1]
+        )
+        yet = YetTable(table, n_trials=5)
+        pf = Portfolio([Layer(0, [elt], LayerTerms())])
+        assert_engines_equivalent(pf, yet, ALL_ENGINES)
+        res = AggregateAnalysis(pf, yet).run("vectorized")
+        np.testing.assert_allclose(
+            res.portfolio_ylt.losses, [0.0, 300.0, 0.0, 100.0, 0.0]
+        )
+
+
+class TestSequential:
+    def test_known_answer(self):
+        elt = EltTable.from_arrays([1, 2], [100.0, 50.0])
+        from repro.core.tables import YET_SCHEMA
+
+        table = ColumnTable.from_arrays(
+            YET_SCHEMA, trial=[0, 0, 1], seq=[0, 1, 0], event_id=[1, 2, 2]
+        )
+        yet = YetTable(table, n_trials=2)
+        terms = LayerTerms(occ_retention=25.0, agg_retention=10.0,
+                           participation=0.5)
+        pf = Portfolio([Layer(0, [elt], terms)])
+        res = SequentialEngine().run(pf, yet)
+        # trial0: (100-25)+(50-25)=100; agg: (100-10)*0.5=45
+        # trial1: 25; agg: 15*0.5=7.5
+        np.testing.assert_allclose(res.portfolio_ylt.losses, [45.0, 7.5])
+
+    def test_emit_yelt_counts_covered_occurrences(self, tiny_workload):
+        res = SequentialEngine().run(
+            tiny_workload.portfolio, tiny_workload.yet, emit_yelt=True
+        )
+        lid = tiny_workload.portfolio.layers[0].layer_id
+        yelt = res.yelt_by_layer[lid]
+        lookup = tiny_workload.portfolio.layers[0].lookup()
+        covered = (lookup(tiny_workload.yet.event_ids) > 0).sum()
+        assert yelt.n_rows == covered
+
+
+class TestVectorized:
+    def test_yelt_to_ylt_consistency(self, tiny_workload):
+        """Pre-aggregate YELT rolled up + aggregate terms == engine YLT."""
+        layer = tiny_workload.portfolio.layers[0]
+        res = VectorizedEngine().run(
+            tiny_workload.portfolio, tiny_workload.yet, emit_yelt=True
+        )
+        yelt = res.yelt_by_layer[layer.layer_id]
+        rebuilt = layer.terms.apply_aggregate(yelt.to_ylt().losses)
+        np.testing.assert_allclose(
+            rebuilt, res.ylt_by_layer[layer.layer_id].losses, rtol=1e-12
+        )
+
+    def test_sequential_and_vectorized_yelts_match(self, tiny_workload):
+        seq = SequentialEngine().run(tiny_workload.portfolio, tiny_workload.yet,
+                                     emit_yelt=True)
+        vec = VectorizedEngine().run(tiny_workload.portfolio, tiny_workload.yet,
+                                     emit_yelt=True)
+        lid = tiny_workload.portfolio.layers[0].layer_id
+        assert seq.yelt_by_layer[lid].table.equals(
+            vec.yelt_by_layer[lid].table, rtol=1e-12, atol=1e-9
+        )
+
+
+class TestDeviceEngine:
+    def test_chunked_equals_unchunked(self, tiny_workload):
+        whole = DeviceEngine().run(tiny_workload.portfolio, tiny_workload.yet)
+        chunked = DeviceEngine(max_rows_per_chunk=97).run(
+            tiny_workload.portfolio, tiny_workload.yet
+        )
+        assert whole.portfolio_ylt.allclose(chunked.portfolio_ylt)
+
+    def test_ablation_flags_do_not_change_results(self, tiny_workload):
+        base = DeviceEngine().run(tiny_workload.portfolio, tiny_workload.yet)
+        for flags in (dict(use_constant=False), dict(use_shared=False),
+                      dict(use_constant=False, use_shared=False)):
+            alt = DeviceEngine(**flags).run(
+                tiny_workload.portfolio, tiny_workload.yet
+            )
+            assert base.portfolio_ylt.allclose(alt.portfolio_ylt)
+
+    def test_transfers_accounted(self, tiny_workload):
+        engine = DeviceEngine()
+        res = engine.run(tiny_workload.portfolio, tiny_workload.yet)
+        # YET uploaded once per layer (trial + event arrays) plus lookups.
+        assert res.details["h2d_bytes"] >= tiny_workload.yet.n_occurrences * 16
+        assert res.details["d2h_bytes"] >= tiny_workload.yet.n_trials * 8
+
+    def test_small_lookup_lands_in_constant(self, tiny_workload):
+        res = DeviceEngine().run(tiny_workload.portfolio, tiny_workload.yet)
+        lid = tiny_workload.portfolio.layers[0].layer_id
+        # tiny workload: 500-event catalogue -> 4 KB dense table fits 64 KB
+        assert res.details["layers"][lid]["lookup_in_constant"]
+
+    def test_big_lookup_spills_to_global(self, tiny_workload):
+        gpu = SimulatedGpu(DeviceProperties(constant_mem_bytes=128))
+        res = DeviceEngine(gpu=gpu).run(tiny_workload.portfolio, tiny_workload.yet)
+        lid = tiny_workload.portfolio.layers[0].layer_id
+        assert not res.details["layers"][lid]["lookup_in_constant"]
+        ref = VectorizedEngine().run(tiny_workload.portfolio, tiny_workload.yet)
+        assert res.portfolio_ylt.allclose(ref.portfolio_ylt)
+
+    def test_sparse_lookup_path(self, tiny_workload):
+        engine = DeviceEngine(dense_max_entries=1)  # force sparse
+        res = engine.run(tiny_workload.portfolio, tiny_workload.yet)
+        ref = VectorizedEngine().run(tiny_workload.portfolio, tiny_workload.yet)
+        assert res.portfolio_ylt.allclose(ref.portfolio_ylt)
+        lid = tiny_workload.portfolio.layers[0].layer_id
+        assert res.details["layers"][lid]["lookup_kind"] == "sparse"
+
+
+class TestMulticore:
+    @pytest.mark.parametrize("n_workers", [1, 2, 5])
+    def test_worker_count_invariant(self, tiny_workload, n_workers):
+        res = MulticoreEngine(n_workers=n_workers).run(
+            tiny_workload.portfolio, tiny_workload.yet
+        )
+        ref = VectorizedEngine().run(tiny_workload.portfolio, tiny_workload.yet)
+        assert res.portfolio_ylt.allclose(ref.portfolio_ylt)
+
+    def test_more_workers_than_trials(self):
+        elt = EltTable.from_arrays([1], [10.0])
+        from repro.core.tables import YET_SCHEMA
+
+        table = ColumnTable.from_arrays(
+            YET_SCHEMA, trial=[0, 1], seq=[0, 0], event_id=[1, 1]
+        )
+        yet = YetTable(table, n_trials=2)
+        pf = Portfolio([Layer(0, [elt], LayerTerms())])
+        res = MulticoreEngine(n_workers=16).run(pf, yet)
+        np.testing.assert_allclose(res.portfolio_ylt.losses, [10.0, 10.0])
+
+    def test_emit_yelt_unsupported(self, tiny_workload):
+        with pytest.raises(EngineError):
+            MulticoreEngine().run(tiny_workload.portfolio, tiny_workload.yet,
+                                  emit_yelt=True)
+
+
+class TestMapReduceEngine:
+    @pytest.mark.parametrize("n_splits", [1, 4, 13])
+    def test_split_count_invariant(self, tiny_workload, n_splits):
+        res = MapReduceEngine(n_splits=n_splits).run(
+            tiny_workload.portfolio, tiny_workload.yet
+        )
+        ref = VectorizedEngine().run(tiny_workload.portfolio, tiny_workload.yet)
+        assert res.portfolio_ylt.allclose(ref.portfolio_ylt)
+
+    def test_job_results_recorded(self, tiny_workload):
+        engine = MapReduceEngine(n_splits=4)
+        engine.run(tiny_workload.portfolio, tiny_workload.yet)
+        assert set(engine.last_jobs) == set(tiny_workload.portfolio.layer_ids)
+        job = next(iter(engine.last_jobs.values()))
+        assert len(job.map_task_seconds) == 4
+
+    def test_emit_yelt_unsupported(self, tiny_workload):
+        with pytest.raises(EngineError):
+            MapReduceEngine().run(tiny_workload.portfolio, tiny_workload.yet,
+                                  emit_yelt=True)
+
+
+class TestDistributedEngine:
+    @pytest.mark.parametrize("n_nodes", [1, 3, 8])
+    def test_node_count_invariant(self, tiny_workload, n_nodes):
+        res = DistributedEngine(n_nodes=n_nodes).run(
+            tiny_workload.portfolio, tiny_workload.yet
+        )
+        ref = VectorizedEngine().run(tiny_workload.portfolio, tiny_workload.yet)
+        assert res.portfolio_ylt.allclose(ref.portfolio_ylt)
+
+    def test_comm_accounted(self, tiny_workload):
+        res = DistributedEngine(n_nodes=4).run(
+            tiny_workload.portfolio, tiny_workload.yet
+        )
+        assert res.details["comm_bytes"] > 0
+        assert res.details["comm_seconds_model"] > 0
+
+    def test_emit_yelt_unsupported(self, tiny_workload):
+        with pytest.raises(EngineError):
+            DistributedEngine().run(tiny_workload.portfolio, tiny_workload.yet,
+                                    emit_yelt=True)

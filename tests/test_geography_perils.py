@@ -1,0 +1,120 @@
+"""Tests for geography primitives and peril definitions."""
+
+import numpy as np
+import pytest
+
+from repro.catmod.geography import Region, haversine_km, random_sites
+from repro.catmod.perils import Peril, PerilKind, standard_perils
+from repro.errors import ConfigurationError
+
+
+class TestRegion:
+    def test_valid(self):
+        r = Region(25.0, 33.0, -98.0, -80.0)
+        assert r.lat_span == 8.0 and r.lon_span == 18.0
+
+    @pytest.mark.parametrize("args", [
+        (33.0, 25.0, -98.0, -80.0),   # lat inverted
+        (25.0, 33.0, -80.0, -98.0),   # lon inverted
+        (-95.0, 33.0, -98.0, -80.0),  # lat out of range
+    ])
+    def test_invalid_rejected(self, args):
+        with pytest.raises(ConfigurationError):
+            Region(*args)
+
+    def test_contains_vectorised(self):
+        r = Region(0.0, 10.0, 0.0, 10.0)
+        mask = r.contains(np.array([5.0, 15.0]), np.array([5.0, 5.0]))
+        np.testing.assert_array_equal(mask, [True, False])
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(10.0, 20.0, 10.0, 20.0) == pytest.approx(0.0)
+
+    def test_known_distance_equator_degree(self):
+        # one degree of longitude at the equator ~111.19 km
+        d = haversine_km(0.0, 0.0, 0.0, 1.0)
+        assert d == pytest.approx(111.19, rel=1e-3)
+
+    def test_symmetry(self):
+        a = haversine_km(10.0, 20.0, 30.0, 40.0)
+        b = haversine_km(30.0, 40.0, 10.0, 20.0)
+        assert a == pytest.approx(b)
+
+    def test_broadcasting(self):
+        lats = np.array([0.0, 1.0, 2.0])
+        d = haversine_km(0.0, 0.0, lats, 0.0)
+        assert d.shape == (3,)
+        assert d[0] < d[1] < d[2]
+
+    def test_antipodal_bounded(self):
+        d = haversine_km(0.0, 0.0, 0.0, 180.0)
+        assert d == pytest.approx(np.pi * 6371.0, rel=1e-3)
+
+
+class TestRandomSites:
+    def test_within_region(self):
+        r = Region(25.0, 33.0, -98.0, -80.0)
+        lat, lon = random_sites(r, 500, np.random.default_rng(0))
+        assert r.contains(lat, lon).all()
+
+    def test_deterministic(self):
+        r = Region(0.0, 10.0, 0.0, 10.0)
+        a = random_sites(r, 100, np.random.default_rng(1))
+        b = random_sites(r, 100, np.random.default_rng(1))
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_clustered_not_uniform(self):
+        """Clustered sites should have lower nearest-neighbour spread than
+        uniform sampling over the same region."""
+        r = Region(0.0, 10.0, 0.0, 10.0)
+        lat, _ = random_sites(r, 2000, np.random.default_rng(2), n_clusters=3,
+                              cluster_sigma_deg=0.1)
+        # with 3 tight clusters the lat histogram is concentrated
+        hist, _ = np.histogram(lat, bins=20, range=(0, 10))
+        assert (hist > 0).sum() <= 12
+
+    def test_bad_counts_rejected(self):
+        r = Region(0.0, 1.0, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            random_sites(r, 0, np.random.default_rng(0))
+
+
+class TestPeril:
+    def test_standard_book_complete(self):
+        book = standard_perils()
+        assert set(book) == set(PerilKind)
+        for kind, peril in book.items():
+            assert peril.kind == kind
+
+    def test_magnitude_sampling_in_support(self):
+        peril = standard_perils()[PerilKind.EARTHQUAKE]
+        mags = peril.sample_magnitudes(10_000, np.random.default_rng(0))
+        assert mags.min() >= peril.mag_min
+        assert mags.max() <= peril.mag_max
+
+    def test_magnitude_law_favours_small_events(self):
+        peril = standard_perils()[PerilKind.EARTHQUAKE]
+        mags = peril.sample_magnitudes(50_000, np.random.default_rng(0))
+        low = (mags < 6.0).mean()
+        high = (mags > 8.0).mean()
+        assert low > 5 * high
+
+    def test_footprint_grows_with_magnitude(self):
+        peril = standard_perils()[PerilKind.HURRICANE]
+        assert peril.footprint_radius_km(5.0) > peril.footprint_radius_km(3.0)
+
+    def test_zero_samples(self):
+        peril = standard_perils()[PerilKind.FLOOD]
+        assert peril.sample_magnitudes(0, np.random.default_rng(0)).size == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Peril(PerilKind.FLOOD, annual_rate=-1, mag_min=1, mag_max=2,
+                  mag_b=1, footprint_km_per_mag=1, attenuation_power=1,
+                  attenuation_d0_km=1)
+        with pytest.raises(ConfigurationError):
+            Peril(PerilKind.FLOOD, annual_rate=1, mag_min=3, mag_max=2,
+                  mag_b=1, footprint_km_per_mag=1, attenuation_power=1,
+                  attenuation_d0_km=1)

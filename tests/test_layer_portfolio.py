@@ -1,0 +1,96 @@
+"""Tests for layers and portfolios."""
+
+import numpy as np
+import pytest
+
+from repro.core.layer import Layer
+from repro.core.portfolio import Portfolio
+from repro.core.tables import EltTable
+from repro.core.terms import LayerTerms
+from repro.errors import ConfigurationError
+
+
+def elt(ids, losses, cid=0):
+    return EltTable.from_arrays(ids, losses, contract_id=cid)
+
+
+class TestLayer:
+    def test_basic_properties(self):
+        layer = Layer(3, [elt([1], [2.0]), elt([2, 3], [4.0, 5.0])], LayerTerms())
+        assert layer.layer_id == 3
+        assert layer.n_elts == 2
+        assert layer.n_events == 3
+
+    def test_lookup_merges_elts(self):
+        layer = Layer(0, [elt([1], [10.0]), elt([1, 2], [5.0, 7.0])], LayerTerms())
+        lk = layer.lookup()
+        np.testing.assert_allclose(lk(np.array([1, 2])), [15.0, 7.0])
+
+    def test_lookup_cached(self):
+        layer = Layer(0, [elt([1], [1.0])], LayerTerms())
+        assert layer.lookup() is layer.lookup()
+
+    def test_invalidate_lookup(self):
+        layer = Layer(0, [elt([1], [1.0])], LayerTerms())
+        first = layer.lookup()
+        layer.invalidate_lookup()
+        assert layer.lookup() is not first
+
+    def test_weights(self):
+        layer = Layer(0, [elt([1], [10.0])], LayerTerms(), weights=[0.5])
+        assert layer.lookup().get_scalar(1) == 5.0
+
+    def test_no_elts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Layer(0, [], LayerTerms())
+
+    def test_non_elt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Layer(0, ["nope"], LayerTerms())
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Layer(-1, [elt([1], [1.0])], LayerTerms())
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Layer(0, [elt([1], [1.0])], LayerTerms(), weights=[0.0])
+        with pytest.raises(ConfigurationError):
+            Layer(0, [elt([1], [1.0])], LayerTerms(), weights=[1.0, 2.0])
+
+
+class TestPortfolio:
+    def make_layers(self, n=3):
+        return [Layer(i, [elt([i + 1], [float(i + 1)], cid=i)], LayerTerms())
+                for i in range(n)]
+
+    def test_properties(self):
+        pf = Portfolio(self.make_layers(3))
+        assert pf.n_layers == 3
+        assert pf.layer_ids == (0, 1, 2)
+        assert pf.n_elts == 3
+        assert len(pf) == 3
+
+    def test_layer_by_id(self):
+        pf = Portfolio(self.make_layers(3))
+        assert pf.layer(1).layer_id == 1
+        with pytest.raises(ConfigurationError):
+            pf.layer(99)
+
+    def test_iteration_order(self):
+        pf = Portfolio(self.make_layers(4))
+        assert [l.layer_id for l in pf] == [0, 1, 2, 3]
+
+    def test_duplicate_ids_rejected(self):
+        layers = self.make_layers(2)
+        dup = Layer(0, [elt([9], [1.0])], LayerTerms())
+        with pytest.raises(ConfigurationError):
+            Portfolio([layers[0], dup])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Portfolio([])
+
+    def test_non_layer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Portfolio(["nope"])

@@ -1,0 +1,177 @@
+"""Tests for partitioners, the on-disk chunk store, and the loss cube."""
+
+import numpy as np
+import pytest
+
+from repro.data.columnar import ColumnTable
+from repro.data.partition import RangePartitioner, hash_partition
+from repro.data.schema import Schema
+from repro.data.store import ChunkStore
+from repro.data.warehouse import CubeQuery, LossCube
+from repro.errors import AnalysisError, ConfigurationError, StorageError
+
+S = Schema([("k", np.int64), ("v", np.float64)])
+
+
+class TestHashPartition:
+    def test_stable_across_calls(self):
+        assert hash_partition("abc", 8) == hash_partition("abc", 8)
+
+    def test_range(self):
+        for key in range(100):
+            assert 0 <= hash_partition(key, 7) < 7
+
+    def test_zero_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hash_partition(1, 0)
+
+    def test_spreads_keys(self):
+        buckets = {hash_partition(k, 16) for k in range(1000)}
+        assert len(buckets) == 16
+
+
+class TestRangePartitioner:
+    def test_from_sample_quantiles(self):
+        p = RangePartitioner.from_sample(list(range(100)), 4)
+        assert p.n_buckets == 4
+        assert p(0) == 0
+        assert p(99) == 3
+
+    def test_ordering_preserved(self):
+        p = RangePartitioner.from_sample(list(range(1000)), 8)
+        buckets = [p(k) for k in range(0, 1000, 10)]
+        assert buckets == sorted(buckets)
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RangePartitioner([5, 1])
+
+    def test_overflow_bucket_check(self):
+        p = RangePartitioner([10])
+        with pytest.raises(ConfigurationError):
+            p(50, n_buckets=1)
+
+
+class TestChunkStore:
+    def make_table(self, n=100):
+        return ColumnTable.from_arrays(
+            S, k=np.arange(n), v=np.arange(n, dtype=np.float64)
+        )
+
+    def test_roundtrip(self, tmp_path):
+        store = ChunkStore(tmp_path)
+        t = self.make_table()
+        n_chunks = store.write_table("t", t, rows_per_chunk=30)
+        assert n_chunks == 4
+        assert store.read_table("t").equals(t)
+
+    def test_iter_chunks_streams_in_order(self, tmp_path):
+        store = ChunkStore(tmp_path)
+        t = self.make_table(50)
+        store.write_table("t", t, rows_per_chunk=20)
+        chunks = list(store.iter_chunks("t"))
+        assert [c.n_rows for c in chunks] == [20, 20, 10]
+        np.testing.assert_array_equal(chunks[0]["k"], np.arange(20))
+
+    def test_duplicate_name_rejected(self, tmp_path):
+        store = ChunkStore(tmp_path)
+        store.write_table("t", self.make_table(), rows_per_chunk=50)
+        with pytest.raises(StorageError):
+            store.write_table("t", self.make_table(), rows_per_chunk=50)
+
+    def test_missing_table_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            ChunkStore(tmp_path).read_table("nope")
+
+    def test_invalid_name_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            ChunkStore(tmp_path).write_table("../evil", self.make_table(), 10)
+
+    def test_delete(self, tmp_path):
+        store = ChunkStore(tmp_path)
+        store.write_table("t", self.make_table(), rows_per_chunk=50)
+        store.delete_table("t")
+        assert store.list_tables() == []
+
+    def test_stored_bytes_positive(self, tmp_path):
+        store = ChunkStore(tmp_path)
+        store.write_table("t", self.make_table(), rows_per_chunk=25)
+        assert store.stored_bytes("t") > self.make_table().nbytes  # headers add
+
+
+FACTS = Schema([("trial", np.int64), ("lob", np.int64),
+                ("region", np.int64), ("loss", np.float64)])
+
+
+class TestLossCube:
+    def make_cube(self, n_trials=50):
+        rng = np.random.default_rng(7)
+        n = 400
+        table = ColumnTable.from_arrays(
+            FACTS,
+            trial=rng.integers(0, n_trials, n),
+            lob=rng.integers(0, 3, n),
+            region=rng.integers(0, 2, n),
+            loss=rng.random(n) * 100,
+        )
+        return LossCube(table, dims=("lob", "region"), n_trials=n_trials), table
+
+    def test_unfiltered_matches_direct_sum(self):
+        cube, table = self.make_cube()
+        direct = np.zeros(50)
+        np.add.at(direct, table["trial"], table["loss"])
+        np.testing.assert_allclose(cube.annual_losses(), direct)
+
+    def test_slice_matches_filtered_sum(self):
+        cube, table = self.make_cube()
+        mask = (table["lob"] == 1) & (table["region"] == 0)
+        direct = np.zeros(50)
+        np.add.at(direct, table["trial"][mask], table["loss"][mask])
+        np.testing.assert_allclose(
+            cube.annual_losses({"lob": 1, "region": 0}), direct
+        )
+
+    def test_slices_partition_total(self):
+        cube, _ = self.make_cube()
+        total = cube.annual_losses()
+        parts = sum(cube.annual_losses({"lob": l}) for l in range(3))
+        np.testing.assert_allclose(parts, total)
+
+    def test_cube_query_object(self):
+        cube, _ = self.make_cube()
+        np.testing.assert_allclose(
+            cube.annual_losses(CubeQuery({"lob": 2})),
+            cube.annual_losses({"lob": 2}),
+        )
+
+    def test_unknown_dimension_rejected(self):
+        cube, _ = self.make_cube()
+        with pytest.raises(AnalysisError):
+            cube.annual_losses({"peril": 1})
+
+    def test_absent_combination_returns_zeros(self):
+        cube, _ = self.make_cube()
+        out = cube.annual_losses({"lob": 99})
+        assert (out == 0).all()
+
+    def test_pml_and_tvar_consistency(self):
+        cube, _ = self.make_cube()
+        losses = cube.annual_losses()
+        assert cube.pml(10.0) == pytest.approx(np.quantile(losses, 0.9))
+        assert cube.tvar(0.9) >= cube.pml(10.0)
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LossCube(ColumnTable(FACTS), dims=("nope",), n_trials=10)
+
+    def test_trial_out_of_range_rejected(self):
+        table = ColumnTable.from_arrays(
+            FACTS, trial=[100], lob=[0], region=[0], loss=[1.0]
+        )
+        with pytest.raises(ConfigurationError):
+            LossCube(table, dims=("lob",), n_trials=10)
+
+    def test_nbytes_and_cells(self):
+        cube, _ = self.make_cube()
+        assert cube.n_cells <= 6
+        assert cube.nbytes == cube.n_cells * 50 * 8

@@ -1,0 +1,116 @@
+"""Property-based tests on the data substrate.
+
+Serialisation round-trips, group-by conservation, B+-tree vs dict
+equivalence, DFS write/read identity, MapReduce partition-invariance.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.btree import BPlusTree
+from repro.data.columnar import ColumnTable
+from repro.data.dfs import SimDfs
+from repro.data.schema import Schema
+from repro.data.serialization import pack_table, unpack_table
+
+S = Schema([("k", np.int64), ("v", np.float64)])
+
+keys = hnp.arrays(np.int64, st.integers(0, 100),
+                  elements=st.integers(-1000, 1000))
+values = st.integers(0, 100).flatmap(
+    lambda n: hnp.arrays(np.float64, n,
+                         elements=st.floats(-1e9, 1e9, allow_nan=False))
+)
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(0, 100))
+    k = draw(hnp.arrays(np.int64, n, elements=st.integers(-100, 100)))
+    v = draw(hnp.arrays(np.float64, n,
+                        elements=st.floats(-1e6, 1e6, allow_nan=False)))
+    return ColumnTable.from_arrays(S, k=k, v=v)
+
+
+class TestSerializationProperties:
+    @settings(max_examples=50)
+    @given(t=tables())
+    def test_pack_unpack_identity(self, t):
+        assert unpack_table(pack_table(t)).equals(t)
+
+
+class TestGroupbyProperties:
+    @settings(max_examples=50)
+    @given(t=tables())
+    def test_conserves_sum(self, t):
+        g = t.groupby_sum("k", "v")
+        np.testing.assert_allclose(g["v"].sum(), t["v"].sum(), rtol=1e-9,
+                                   atol=1e-6)
+
+    @settings(max_examples=50)
+    @given(t=tables())
+    def test_matches_dict_reference(self, t):
+        g = t.groupby_sum("k", "v")
+        expect = {}
+        for k, v in zip(t["k"].tolist(), t["v"].tolist()):
+            expect[k] = expect.get(k, 0.0) + v
+        got = dict(zip(g["k"].tolist(), g["v"].tolist()))
+        assert set(got) == set(expect)
+        for k in expect:
+            np.testing.assert_allclose(got[k], expect[k], rtol=1e-9, atol=1e-6)
+
+
+class TestBTreeProperties:
+    @settings(max_examples=40)
+    @given(entries=st.lists(st.tuples(st.integers(-10_000, 10_000),
+                                      st.integers()), max_size=300),
+           order=st.integers(3, 32))
+    def test_matches_dict(self, entries, order):
+        tree = BPlusTree(order=order)
+        reference = {}
+        for k, v in entries:
+            tree.insert(k, v)
+            reference[k] = v
+        assert len(tree) == len(reference)
+        for k, v in reference.items():
+            assert tree.get(k) == v
+        assert [k for k, _ in tree.items()] == sorted(reference)
+
+    @settings(max_examples=20)
+    @given(ks=st.lists(st.integers(0, 1000), min_size=1, max_size=200,
+                       unique=True),
+           lo=st.integers(0, 1000), hi=st.integers(0, 1000))
+    def test_range_scan_matches_filter(self, ks, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        tree = BPlusTree(order=5)
+        for k in ks:
+            tree.insert(k, k)
+        got = [k for k, _ in tree.range_scan(lo, hi)]
+        assert got == sorted(k for k in ks if lo <= k <= hi)
+
+
+class TestDfsProperties:
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.binary(max_size=2000),
+           block_bytes=st.integers(1, 257),
+           n_nodes=st.integers(1, 6),
+           replication=st.integers(1, 3))
+    def test_write_read_identity(self, data, block_bytes, n_nodes, replication):
+        dfs = SimDfs(n_datanodes=n_nodes, block_bytes=block_bytes,
+                     replication=replication)
+        dfs.write("f", data)
+        assert dfs.read("f") == data
+
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.binary(min_size=1, max_size=2000),
+           kill=st.integers(0, 3))
+    def test_single_failure_tolerated_with_replication_2(self, data, kill):
+        dfs = SimDfs(n_datanodes=4, block_bytes=64, replication=2)
+        dfs.write("f", data)
+        dfs.kill_node(kill)
+        assert dfs.read("f") == data
+        dfs.re_replicate()
+        for b in dfs.file_blocks("f"):
+            assert dfs.replication_of(b.block_id) == 2

@@ -1,0 +1,90 @@
+"""Property-based tests for risk metrics and EP curves."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analytics.ep_curves import EpCurve
+from repro.core.tables import YltTable
+from repro.dfa.metrics import RiskMetrics, tail_value_at_risk, value_at_risk
+
+loss_samples = hnp.arrays(
+    np.float64,
+    st.integers(4, 400),
+    elements=st.floats(0.0, 1e12, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestMetricProperties:
+    @settings(max_examples=60)
+    @given(losses=loss_samples)
+    def test_full_metric_coherence(self, losses):
+        RiskMetrics.from_ylt(YltTable(losses)).check_coherence()
+
+    @settings(max_examples=60)
+    @given(losses=loss_samples,
+           q=st.floats(0.0, 0.999, allow_nan=False))
+    def test_tvar_dominates_var(self, losses, q):
+        ylt = YltTable(losses)
+        var = value_at_risk(ylt, q)
+        tol = 1e-6 + 1e-9 * abs(var)
+        assert tail_value_at_risk(ylt, q) >= var - tol
+
+    @settings(max_examples=60)
+    @given(losses=loss_samples)
+    def test_var_bounded_by_sample(self, losses):
+        ylt = YltTable(losses)
+        for q in (0.5, 0.9, 0.99):
+            v = value_at_risk(ylt, q)
+            assert losses.min() - 1e-9 <= v <= losses.max() + 1e-9
+
+    @settings(max_examples=60)
+    @given(losses=loss_samples, shift=st.floats(0.0, 1e9, allow_nan=False))
+    def test_translation_equivariance(self, losses, shift):
+        """VaR(X + c) = VaR(X) + c — quantiles translate."""
+        a = value_at_risk(YltTable(losses), 0.9)
+        b = value_at_risk(YltTable(losses + shift), 0.9)
+        np.testing.assert_allclose(b, a + shift, rtol=1e-9, atol=1e-3)
+
+    @settings(max_examples=60)
+    @given(losses=loss_samples, scale=st.floats(0.01, 1e3, allow_nan=False))
+    def test_positive_homogeneity(self, losses, scale):
+        """TVaR(cX) = c TVaR(X) for c > 0."""
+        a = tail_value_at_risk(YltTable(losses), 0.9)
+        b = tail_value_at_risk(YltTable(losses * scale), 0.9)
+        np.testing.assert_allclose(b, a * scale, rtol=1e-9, atol=1e-6)
+
+    @settings(max_examples=40)
+    @given(a=loss_samples)
+    def test_comonotonic_additivity_of_var(self, a):
+        """VaR is additive for comonotone risks: sorting both identically."""
+        x = np.sort(a)
+        combined = YltTable(x + x)
+        v_comb = value_at_risk(combined, 0.9)
+        v_single = value_at_risk(YltTable(x), 0.9)
+        np.testing.assert_allclose(v_comb, 2 * v_single, rtol=1e-9, atol=1e-6)
+
+
+class TestEpCurveProperties:
+    @settings(max_examples=60)
+    @given(losses=loss_samples)
+    def test_probability_bounds(self, losses):
+        curve = EpCurve(losses)
+        probs = curve.probability_of_exceeding(np.linspace(0, losses.max(), 20))
+        assert ((probs >= 0) & (probs <= 1)).all()
+
+    @settings(max_examples=60)
+    @given(losses=loss_samples)
+    def test_monotone_nonincreasing(self, losses):
+        curve = EpCurve(losses)
+        xs = np.sort(np.unique(np.concatenate([losses, losses * 1.1 + 1])))
+        probs = curve.probability_of_exceeding(xs)
+        assert (np.diff(probs) <= 1e-12).all()
+
+    @settings(max_examples=60)
+    @given(losses=loss_samples)
+    def test_pointwise_dominance_of_scaled_curve(self, losses):
+        base = EpCurve(losses)
+        bigger = EpCurve(losses * 2.0 + 1.0)
+        assert bigger.dominates(base)

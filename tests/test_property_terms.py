@@ -1,0 +1,101 @@
+"""Property-based tests for the financial-terms arithmetic.
+
+These are the invariants the whole pipeline's correctness rests on:
+whatever the terms and losses, layer output is bounded, monotone, and
+identical between the scalar oracle and the vectorised implementation.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.terms import LayerTerms
+
+finite_loss = st.floats(min_value=0.0, max_value=1e12,
+                        allow_nan=False, allow_infinity=False)
+
+terms_strategy = st.builds(
+    LayerTerms,
+    occ_retention=st.floats(0.0, 1e9, allow_nan=False),
+    occ_limit=st.one_of(st.just(math.inf), st.floats(1.0, 1e9, allow_nan=False)),
+    agg_retention=st.floats(0.0, 1e9, allow_nan=False),
+    agg_limit=st.one_of(st.just(math.inf), st.floats(1.0, 1e10, allow_nan=False)),
+    participation=st.floats(0.01, 1.0, allow_nan=False),
+)
+
+loss_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(0, 200),
+    elements=finite_loss,
+)
+
+
+class TestOccurrenceProperties:
+    @given(terms=terms_strategy, loss=finite_loss)
+    def test_scalar_bounds(self, terms, loss):
+        out = terms.occurrence_scalar(loss)
+        assert 0.0 <= out <= min(loss, terms.occ_limit) + 1e-9
+
+    @given(terms=terms_strategy, a=finite_loss, b=finite_loss)
+    def test_monotone(self, terms, a, b):
+        lo, hi = sorted((a, b))
+        assert terms.occurrence_scalar(lo) <= terms.occurrence_scalar(hi) + 1e-9
+
+    @given(terms=terms_strategy, losses=loss_arrays)
+    def test_vector_equals_scalar(self, terms, losses):
+        vec = terms.apply_occurrence(losses)
+        scal = np.array([terms.occurrence_scalar(x) for x in losses])
+        np.testing.assert_allclose(vec, scal, rtol=1e-12, atol=1e-9)
+
+    @given(terms=terms_strategy, losses=loss_arrays)
+    def test_one_lipschitz(self, terms, losses):
+        """Terms never amplify differences (1-Lipschitz in each loss)."""
+        bumped = terms.apply_occurrence(losses + 1.0)
+        base = terms.apply_occurrence(losses)
+        assert (bumped - base <= 1.0 + 1e-9).all()
+        assert (bumped - base >= -1e-9).all()
+
+
+class TestAggregateProperties:
+    @given(terms=terms_strategy, annual=finite_loss)
+    def test_scalar_bounds(self, terms, annual):
+        out = terms.aggregate_scalar(annual)
+        cap = terms.agg_limit * terms.participation
+        assert 0.0 <= out <= min(annual, cap) + 1e-9
+
+    @given(terms=terms_strategy, annual=loss_arrays)
+    def test_vector_equals_scalar(self, terms, annual):
+        vec = terms.apply_aggregate(annual)
+        scal = np.array([terms.aggregate_scalar(x) for x in annual])
+        np.testing.assert_allclose(vec, scal, rtol=1e-12, atol=1e-9)
+
+
+class TestTrialProperties:
+    @settings(max_examples=50)
+    @given(terms=terms_strategy, losses=loss_arrays)
+    def test_trial_loss_bounded_by_caps(self, terms, losses):
+        out = terms.trial_loss_scalar(losses)
+        assert out >= 0.0
+        assert out <= terms.agg_limit * terms.participation + 1e-6
+        n = len(losses)
+        occ_cap = terms.occ_limit * n if n else 0.0
+        assert out <= terms.participation * occ_cap + 1e-6 or n == 0
+
+    @settings(max_examples=50)
+    @given(terms=terms_strategy, losses=loss_arrays)
+    def test_adding_an_event_never_decreases(self, terms, losses):
+        base = terms.trial_loss_scalar(losses)
+        more = terms.trial_loss_scalar(list(losses) + [1e6])
+        assert more >= base - 1e-9
+
+    @settings(max_examples=50)
+    @given(losses=loss_arrays)
+    def test_passthrough_terms_sum(self, losses):
+        """Identity terms reduce to a plain sum."""
+        t = LayerTerms()
+        np.testing.assert_allclose(
+            t.trial_loss_scalar(losses), float(np.sum(losses)), rtol=1e-9
+        )

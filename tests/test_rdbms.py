@@ -1,0 +1,102 @@
+"""Tests for the traditional row-store baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data.columnar import ColumnTable
+from repro.data.rdbms import RowStore
+from repro.data.schema import Schema
+from repro.errors import ConfigurationError, StorageError
+
+S = Schema([("event_id", np.int64), ("loss", np.float64)])
+
+
+def make_store(n=100, page_rows=16):
+    store = RowStore(S, key="event_id", page_rows=page_rows)
+    table = ColumnTable.from_arrays(
+        S, event_id=np.arange(n), loss=np.arange(n, dtype=np.float64) * 1.5
+    )
+    store.bulk_load(table)
+    return store, table
+
+
+class TestConstruction:
+    def test_missing_key_column_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RowStore(S, key="nope")
+
+    def test_float_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RowStore(S, key="loss")
+
+    def test_bad_page_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RowStore(S, key="event_id", page_rows=0)
+
+
+class TestInsert:
+    def test_insert_and_get(self):
+        store = RowStore(S, key="event_id")
+        store.insert_row(event_id=7, loss=2.5)
+        assert store.get(7) == {"event_id": 7, "loss": 2.5}
+
+    def test_duplicate_key_rejected(self):
+        store = RowStore(S, key="event_id")
+        store.insert_row(event_id=1, loss=0.0)
+        with pytest.raises(StorageError):
+            store.insert_row(event_id=1, loss=1.0)
+
+    def test_missing_field_rejected(self):
+        store = RowStore(S, key="event_id")
+        with pytest.raises(StorageError):
+            store.insert_row(event_id=1)
+
+    def test_bulk_load_schema_mismatch(self):
+        store = RowStore(S, key="event_id")
+        other = ColumnTable.from_arrays(Schema([("event_id", np.int64)]), event_id=[1])
+        with pytest.raises(StorageError):
+            store.bulk_load(other)
+
+
+class TestAccess:
+    def test_get_field(self):
+        store, _ = make_store()
+        assert store.get_field(10, "loss") == 15.0
+
+    def test_get_many_order_preserved(self):
+        store, _ = make_store()
+        out = store.get_many([5, 1, 3], "loss")
+        np.testing.assert_allclose(out, [7.5, 1.5, 4.5])
+
+    def test_page_reads_counted_per_probe(self):
+        store, _ = make_store()
+        store.stats.reset()
+        store.get_many(list(range(50)), "loss")
+        assert store.stats.page_reads == 50  # one page read per probe
+
+    def test_missing_key(self):
+        store, _ = make_store()
+        with pytest.raises(StorageError):
+            store.get(10_000)
+
+
+class TestScan:
+    def test_full_scan_reads_each_page_once(self):
+        store, _ = make_store(n=100, page_rows=16)
+        store.stats.reset()
+        rows = sum(len(p) for p in store.full_scan())
+        assert rows == 100
+        assert store.stats.page_reads == store.n_pages == 7
+
+    def test_roundtrip_to_column_table(self):
+        store, table = make_store()
+        out = store.to_column_table()
+        assert out.sort_by("event_id").equals(table)
+
+    def test_empty_store_roundtrip(self):
+        store = RowStore(S, key="event_id")
+        assert store.to_column_table().n_rows == 0
+
+    def test_len(self):
+        store, _ = make_store(37)
+        assert len(store) == 37

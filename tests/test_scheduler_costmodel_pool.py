@@ -1,0 +1,175 @@
+"""Tests for schedulers, the pipeline cost model, and the work pool."""
+
+import pytest
+
+from repro.errors import AnalysisError, ClusterError, ConfigurationError
+from repro.hpc.cost_model import PipelineCostModel, StageSpec
+from repro.hpc.pool import WorkPool, available_parallelism
+from repro.hpc.scheduler import DynamicScheduler, StaticScheduler
+
+
+class TestStaticScheduler:
+    def test_contiguous_blocks(self):
+        a = StaticScheduler().assign([1.0] * 10, 3)
+        assert a.tasks_by_worker == ((0, 1, 2, 3), (4, 5, 6), (7, 8, 9))
+
+    def test_all_tasks_assigned_once(self):
+        a = StaticScheduler().assign([1.0] * 17, 4)
+        flat = [t for ts in a.tasks_by_worker for t in ts]
+        assert sorted(flat) == list(range(17))
+
+    def test_makespan_balanced_uniform(self):
+        a = StaticScheduler().assign([1.0] * 100, 4)
+        assert a.makespan == pytest.approx(25.0)
+        assert a.imbalance == pytest.approx(1.0)
+
+    def test_skew_hurts_static(self):
+        tasks = [10.0] + [1.0] * 9
+        a = StaticScheduler().assign(tasks, 2)
+        assert a.imbalance > 1.3
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ClusterError):
+            StaticScheduler().assign([1.0], 0)
+
+    def test_more_workers_than_tasks(self):
+        a = StaticScheduler().assign([1.0, 2.0], 5)
+        assert sum(len(t) for t in a.tasks_by_worker) == 2
+
+
+class TestDynamicScheduler:
+    def test_lpt_beats_static_on_skew(self):
+        tasks = [10.0] + [1.0] * 9
+        static = StaticScheduler().assign(tasks, 2)
+        dynamic = DynamicScheduler().assign(tasks, 2)
+        assert dynamic.makespan <= static.makespan
+
+    def test_all_tasks_assigned(self):
+        a = DynamicScheduler().assign([3.0, 1.0, 4.0, 1.0, 5.0], 2)
+        flat = sorted(t for ts in a.tasks_by_worker for t in ts)
+        assert flat == list(range(5))
+
+    def test_makespan_lower_bounds(self):
+        tasks = [5.0, 4.0, 3.0, 2.0]
+        a = DynamicScheduler().assign(tasks, 2)
+        assert a.makespan >= max(tasks)
+        assert a.makespan >= sum(tasks) / 2
+
+    def test_empty_tasks(self):
+        a = DynamicScheduler().assign([], 3)
+        assert a.makespan == 0.0
+
+
+class TestStageSpec:
+    def test_runtime_amdahl(self):
+        s = StageSpec("s", work_items=100.0, throughput_per_proc=1.0,
+                      parallel_fraction=1.0)
+        assert s.runtime_seconds(1) == pytest.approx(100.0)
+        assert s.runtime_seconds(4) == pytest.approx(25.0)
+
+    def test_serial_fraction_floors_runtime(self):
+        s = StageSpec("s", 100.0, 1.0, parallel_fraction=0.5)
+        assert s.runtime_seconds(10**6) >= 50.0
+
+    def test_comm_overhead_grows(self):
+        s = StageSpec("s", 100.0, 1.0, comm_overhead_per_proc_s=1.0)
+        assert s.runtime_seconds(64) > s.runtime_seconds(64) - 1  # exists
+        assert s.runtime_seconds(2**16) > s.runtime_seconds(2**4)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(work_items=-1, throughput_per_proc=1),
+        dict(work_items=1, throughput_per_proc=0),
+        dict(work_items=1, throughput_per_proc=1, parallel_fraction=0.0),
+        dict(work_items=1, throughput_per_proc=1, parallel_fraction=1.5),
+        dict(work_items=1, throughput_per_proc=1, comm_overhead_per_proc_s=-1),
+    ])
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            StageSpec("s", **kwargs)
+
+
+class TestPipelineCostModel:
+    def model(self):
+        return PipelineCostModel([
+            StageSpec("fast", 100.0, 10.0),
+            StageSpec("slow", 1e9, 1e3, comm_overhead_per_proc_s=0.01),
+        ])
+
+    def test_single_proc_meets_loose_deadline(self):
+        req = self.model().procs_for_deadline("fast", 1000.0)
+        assert req.n_procs == 1 and req.feasible
+
+    def test_tight_deadline_needs_more_procs(self):
+        req = self.model().procs_for_deadline("slow", 3600.0)
+        assert req.feasible
+        assert req.n_procs > 100
+        assert req.runtime_seconds <= 3600.0
+
+    def test_minimality(self):
+        """One fewer processor must miss the deadline."""
+        model = self.model()
+        req = model.procs_for_deadline("slow", 3600.0)
+        spec = model.stage("slow")
+        assert spec.runtime_seconds(req.n_procs - 1) > 3600.0
+
+    def test_infeasible_deadline_reported(self):
+        model = PipelineCostModel([
+            StageSpec("hopeless", 1e12, 1.0, parallel_fraction=0.5)
+        ])
+        req = model.procs_for_deadline("hopeless", 1.0)
+        assert not req.feasible
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(AnalysisError):
+            self.model().procs_for_deadline("nope", 1.0)
+
+    def test_bad_deadline_rejected(self):
+        with pytest.raises(AnalysisError):
+            self.model().procs_for_deadline("fast", 0.0)
+
+    def test_burst_profile(self):
+        reqs = self.model().burst_profile({"fast": 100.0, "slow": 3600.0})
+        by_name = {r.stage: r.n_procs for r in reqs}
+        assert by_name["fast"] == 1
+        assert by_name["slow"] > by_name["fast"]
+
+    def test_burst_unknown_stage_rejected(self):
+        with pytest.raises(AnalysisError):
+            self.model().burst_profile({"nope": 1.0})
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PipelineCostModel([StageSpec("a", 1, 1), StageSpec("a", 1, 1)])
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PipelineCostModel([])
+
+
+def _square(x):
+    return x * x
+
+
+class TestWorkPool:
+    def test_available_parallelism_positive(self):
+        assert available_parallelism() >= 1
+
+    def test_serial_map(self):
+        pool = WorkPool(n_workers=1)
+        assert pool.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_starmap(self):
+        pool = WorkPool(n_workers=1)
+        assert pool.starmap(pow, [(2, 3), (3, 2)]) == [8, 9]
+
+    def test_order_preserved(self):
+        pool = WorkPool(n_workers=1)
+        assert pool.map(_square, list(range(20))) == [i * i for i in range(20)]
+
+    def test_default_workers(self):
+        assert WorkPool().n_workers == available_parallelism()
+
+    def test_single_item_short_circuits(self):
+        # even with many workers, one item runs inline
+        pool = WorkPool(n_workers=8)
+        assert pool.map(_square, [5]) == [25]

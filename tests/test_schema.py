@@ -1,0 +1,91 @@
+"""Tests for table schemas."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Field, Schema
+from repro.errors import SchemaError
+
+
+class TestField:
+    def test_dtype_coercion(self):
+        f = Field("x", "f8")
+        assert f.dtype == np.dtype(np.float64)
+        assert f.itemsize == 8
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("", np.int64)
+
+
+class TestSchema:
+    def test_from_tuples(self):
+        s = Schema([("a", np.int64), ("b", np.float64)])
+        assert s.names == ("a", "b")
+        assert len(s) == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", "i8"), ("a", "f8")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_getitem_and_contains(self):
+        s = Schema([("a", "i8")])
+        assert "a" in s and "z" not in s
+        assert s["a"].dtype == np.dtype("i8")
+        with pytest.raises(SchemaError):
+            _ = s["z"]
+
+    def test_equality_and_hash(self):
+        a = Schema([("x", "i8")])
+        b = Schema([("x", "i8")])
+        c = Schema([("x", "i4")])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_row_bytes(self):
+        s = Schema([("a", "i8"), ("b", "f4"), ("c", "i2")])
+        assert s.row_bytes == 8 + 4 + 2
+        assert s.table_bytes(10) == 140
+
+    def test_table_bytes_negative_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", "i8")]).table_bytes(-1)
+
+    def test_empty_columns(self):
+        cols = Schema([("a", "i8")]).empty_columns(3)
+        assert cols["a"].shape == (3,)
+
+    def test_validate_columns_happy(self):
+        s = Schema([("a", "i8")])
+        assert s.validate_columns({"a": np.zeros(4, dtype="i8")}) == 4
+
+    def test_validate_wrong_names(self):
+        s = Schema([("a", "i8")])
+        with pytest.raises(SchemaError):
+            s.validate_columns({"b": np.zeros(4, dtype="i8")})
+
+    def test_validate_wrong_dtype(self):
+        s = Schema([("a", "i8")])
+        with pytest.raises(SchemaError):
+            s.validate_columns({"a": np.zeros(4, dtype="f8")})
+
+    def test_validate_ragged_lengths(self):
+        s = Schema([("a", "i8"), ("b", "i8")])
+        with pytest.raises(SchemaError):
+            s.validate_columns({"a": np.zeros(3, dtype="i8"),
+                                "b": np.zeros(4, dtype="i8")})
+
+    def test_validate_2d_rejected(self):
+        s = Schema([("a", "i8")])
+        with pytest.raises(SchemaError):
+            s.validate_columns({"a": np.zeros((2, 2), dtype="i8")})
+
+    def test_struct_dtype_roundtrip(self):
+        s = Schema([("a", "i8"), ("b", "f8")])
+        dt = s.to_struct_dtype()
+        assert dt.names == ("a", "b")
+        assert dt.itemsize == s.row_bytes

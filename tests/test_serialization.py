@@ -1,0 +1,63 @@
+"""Tests for packed-table serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.data.columnar import ColumnTable
+from repro.data.schema import Schema
+from repro.data.serialization import pack_table, unpack_table
+from repro.errors import StorageError
+
+S = Schema([("a", np.int64), ("b", np.float64), ("c", np.int16)])
+
+
+def make(n=10):
+    rng = np.random.default_rng(3)
+    return ColumnTable.from_arrays(
+        S, a=rng.integers(0, 100, n), b=rng.random(n), c=rng.integers(0, 5, n)
+    )
+
+
+class TestRoundtrip:
+    def test_roundtrip_exact(self):
+        t = make()
+        assert unpack_table(pack_table(t)).equals(t)
+
+    def test_empty_table(self):
+        t = ColumnTable(S)
+        assert unpack_table(pack_table(t)).n_rows == 0
+
+    def test_roundtrip_preserves_schema(self):
+        out = unpack_table(pack_table(make()))
+        assert out.schema == S
+
+    def test_self_describing(self):
+        """No external schema needed to decode (the MapReduce property)."""
+        data = pack_table(make(5))
+        out = unpack_table(data)
+        assert out.n_rows == 5
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        with pytest.raises(StorageError):
+            unpack_table(b"XXXX" + b"\x00" * 20)
+
+    def test_truncated_header(self):
+        data = pack_table(make())
+        with pytest.raises(StorageError):
+            unpack_table(data[:10])
+
+    def test_truncated_payload(self):
+        data = pack_table(make())
+        with pytest.raises(StorageError):
+            unpack_table(data[:-4])
+
+    def test_trailing_garbage(self):
+        data = pack_table(make())
+        with pytest.raises(StorageError):
+            unpack_table(data + b"zz")
+
+    def test_empty_bytes(self):
+        with pytest.raises(StorageError):
+            unpack_table(b"")

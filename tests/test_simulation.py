@@ -1,0 +1,62 @@
+"""Tests for the AggregateAnalysis orchestrator."""
+
+import pytest
+
+from repro.core.engines import VectorizedEngine
+from repro.core.simulation import AggregateAnalysis
+from repro.errors import EngineError
+
+
+class TestAggregateAnalysis:
+    def test_run_by_name(self, tiny_workload):
+        res = AggregateAnalysis(tiny_workload.portfolio, tiny_workload.yet).run(
+            "vectorized"
+        )
+        assert res.engine == "vectorized"
+        assert res.portfolio_ylt.n_trials == tiny_workload.yet.n_trials
+
+    def test_run_with_instance(self, tiny_workload):
+        res = AggregateAnalysis(tiny_workload.portfolio, tiny_workload.yet).run(
+            VectorizedEngine()
+        )
+        assert res.engine == "vectorized"
+
+    def test_kwargs_with_instance_rejected(self, tiny_workload):
+        analysis = AggregateAnalysis(tiny_workload.portfolio, tiny_workload.yet)
+        with pytest.raises(EngineError):
+            analysis.run(VectorizedEngine(), n_workers=2)
+
+    def test_engine_kwargs_forwarded(self, tiny_workload):
+        analysis = AggregateAnalysis(tiny_workload.portfolio, tiny_workload.yet)
+        res = analysis.run("distributed", n_nodes=2)
+        assert res.details["n_nodes"] == 2
+
+    def test_run_all(self, tiny_workload):
+        analysis = AggregateAnalysis(tiny_workload.portfolio, tiny_workload.yet)
+        results = analysis.run_all(["sequential", "vectorized"])
+        assert set(results) == {"sequential", "vectorized"}
+
+    def test_expected_annual_loss_positive(self, tiny_workload):
+        res = AggregateAnalysis(tiny_workload.portfolio, tiny_workload.yet).run()
+        assert res.expected_annual_loss() > 0
+
+    def test_layer_expected_losses_sum_to_portfolio(self, small_portfolio_workload):
+        res = AggregateAnalysis(
+            small_portfolio_workload.portfolio, small_portfolio_workload.yet
+        ).run()
+        total = sum(res.layer_expected_losses().values())
+        assert total == pytest.approx(res.expected_annual_loss())
+
+    def test_trials_per_second(self, tiny_workload):
+        res = AggregateAnalysis(tiny_workload.portfolio, tiny_workload.yet).run()
+        assert res.trials_per_second() > 0
+
+    def test_yelt_rows_zero_when_not_emitted(self, tiny_workload):
+        res = AggregateAnalysis(tiny_workload.portfolio, tiny_workload.yet).run()
+        assert res.yelt_rows() == 0
+
+    def test_invalid_inputs_rejected(self, tiny_workload):
+        with pytest.raises(EngineError):
+            AggregateAnalysis("nope", tiny_workload.yet)
+        with pytest.raises(EngineError):
+            AggregateAnalysis(tiny_workload.portfolio, "nope")

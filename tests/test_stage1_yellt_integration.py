@@ -1,0 +1,97 @@
+"""Integration: stage-1 location losses → YELLT → YELT → YLT algebra.
+
+Exercises the full location-granularity path the paper says is
+infeasible at scale (§II's 5×10¹⁶-entry YELLT) at a scale where it *is*
+feasible, validating the size ratios and the marginalisation algebra on
+rows produced by the real catastrophe-model pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.catmod import (
+    CatModPipeline,
+    assign_contracts,
+    generate_catalog,
+    generate_exposure,
+    standard_perils,
+)
+from repro.catmod.geography import Region
+from repro.core import YetTable, materialize_yellt, yellt_to_yelt
+from repro.util.rng import RngHierarchy
+
+
+@pytest.fixture(scope="module")
+def stage1_with_locations():
+    rng = RngHierarchy(404)
+    region = Region(25.0, 33.0, -98.0, -80.0)
+    perils = standard_perils()
+    catalog = generate_catalog(perils, region, 150, rng.generator("cat"))
+    exposure = generate_exposure(region, 500, rng.generator("exp"))
+    contracts = assign_contracts(exposure, 5, rng.generator("con"))
+    pipeline = CatModPipeline(perils)
+    elts, _ = pipeline.run(catalog, exposure, contracts,
+                           collect_location_losses=True)
+    yet = YetTable.simulate(
+        catalog.event_ids, catalog.rates, 200, rng.generator("yet"),
+        mean_events_per_trial=15.0,
+    )
+    return pipeline.last_location_losses, elts, yet
+
+
+class TestLocationLossCollection:
+    def test_ell_collected(self, stage1_with_locations):
+        ell, _, _ = stage1_with_locations
+        assert ell is not None and ell.n_rows > 0
+        assert (ell["loss"] > 0).all()
+
+    def test_ell_sums_match_elt_means(self, stage1_with_locations):
+        """Per-event site losses sum to the ELT means (up to the
+        min_mean_loss pruning threshold, which both sides share)."""
+        ell, elts, _ = stage1_with_locations
+        per_event = {}
+        for e, l in zip(ell["event_id"].tolist(), ell["loss"].tolist()):
+            per_event[e] = per_event.get(e, 0.0) + l
+        elt_total = {}
+        for elt in elts:
+            for e, m in zip(elt.event_ids.tolist(), elt.mean_losses.tolist()):
+                elt_total[e] = elt_total.get(e, 0.0) + m
+        elt_total = {e: m for e, m in elt_total.items() if m > 0}
+        assert set(per_event) == set(elt_total)
+        for e in per_event:
+            assert per_event[e] == pytest.approx(elt_total[e], rel=1e-9)
+
+    def test_not_collected_by_default(self):
+        rng = RngHierarchy(405)
+        region = Region(25.0, 30.0, -95.0, -85.0)
+        perils = standard_perils()
+        catalog = generate_catalog(perils, region, 50, rng.generator("c"))
+        exposure = generate_exposure(region, 100, rng.generator("e"))
+        contracts = assign_contracts(exposure, 2, rng.generator("k"))
+        pipeline = CatModPipeline(perils)
+        pipeline.run(catalog, exposure, contracts)
+        assert pipeline.last_location_losses is None
+
+
+class TestYelltFromStage1:
+    def test_materialise_and_marginalise(self, stage1_with_locations):
+        ell, _, yet = stage1_with_locations
+        yellt = materialize_yellt(yet, ell)
+        yelt = yellt_to_yelt(yellt)
+        assert yellt.n_rows >= yelt.n_rows
+        assert yelt.total_loss() == pytest.approx(yellt.total_loss())
+
+    def test_ratio_matches_mean_locations_per_event(self, stage1_with_locations):
+        ell, _, yet = stage1_with_locations
+        yellt = materialize_yellt(yet, ell)
+        yelt = yellt_to_yelt(yellt)
+        if yelt.n_rows == 0:
+            pytest.skip("no covered occurrences in this draw")
+        ratio = yellt.n_rows / yelt.n_rows
+        # mean locations per covered occurrence, weighted by occurrence,
+        # must match the realised ratio closely
+        assert 1.0 <= ratio <= ell.n_rows  # sane bounds
+        # the YLT then loses the event dimension entirely:
+        ylt = yelt.to_ylt()
+        assert ylt.n_trials == yet.n_trials
+        assert ylt.losses.sum() == pytest.approx(yellt.total_loss())

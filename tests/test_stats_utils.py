@@ -1,0 +1,99 @@
+"""Tests for the empirical-statistics primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.util.stats_utils import (
+    empirical_quantile,
+    exceedance_probability,
+    loss_at_probability,
+    return_period_loss,
+    standard_error_of_mean,
+    tail_expectation,
+)
+
+SAMPLE = np.arange(1.0, 101.0)  # 1..100
+
+
+class TestEmpiricalQuantile:
+    def test_median(self):
+        assert empirical_quantile(SAMPLE, 0.5) == pytest.approx(50.5)
+
+    def test_extremes(self):
+        assert empirical_quantile(SAMPLE, 0.0) == 1.0
+        assert empirical_quantile(SAMPLE, 1.0) == 100.0
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(AnalysisError):
+            empirical_quantile(SAMPLE, 1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            empirical_quantile([], 0.5)
+
+    def test_nan_rejected(self):
+        with pytest.raises(AnalysisError):
+            empirical_quantile([1.0, np.nan], 0.5)
+
+
+class TestExceedance:
+    def test_strict_inequality(self):
+        # exactly half the sample is > 50 (51..100)
+        assert exceedance_probability(SAMPLE, 50.0) == 0.5
+
+    def test_above_max_is_zero(self):
+        assert exceedance_probability(SAMPLE, 1000.0) == 0.0
+
+    def test_below_min_is_one(self):
+        assert exceedance_probability(SAMPLE, 0.0) == 1.0
+
+
+class TestTailExpectation:
+    def test_tail_mean(self):
+        # top 10% of 1..100 is 91..100 but ties at the quantile are
+        # included; VaR(0.9)=90.1 -> tail = mean(91..100)
+        assert tail_expectation(SAMPLE, 0.9) == pytest.approx(95.5)
+
+    def test_dominates_quantile(self):
+        for q in (0.5, 0.9, 0.99):
+            assert tail_expectation(SAMPLE, q) >= empirical_quantile(SAMPLE, q)
+
+    def test_q_one_returns_max(self):
+        assert tail_expectation(SAMPLE, 1.0) == 100.0
+
+
+class TestReturnPeriod:
+    def test_hundred_year(self):
+        assert return_period_loss(SAMPLE, 100.0) == \
+            pytest.approx(empirical_quantile(SAMPLE, 0.99))
+
+    def test_monotone_in_period(self):
+        assert return_period_loss(SAMPLE, 250.0) >= return_period_loss(SAMPLE, 10.0)
+
+    def test_subannual_rejected(self):
+        with pytest.raises(AnalysisError):
+            return_period_loss(SAMPLE, 1.0)
+
+
+class TestLossAtProbability:
+    def test_inverse_relationship(self):
+        loss = loss_at_probability(SAMPLE, 0.01)
+        assert loss == pytest.approx(return_period_loss(SAMPLE, 100.0))
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5])
+    def test_bad_probability_rejected(self, bad):
+        with pytest.raises(AnalysisError):
+            loss_at_probability(SAMPLE, bad)
+
+
+class TestStandardError:
+    def test_shrinks_with_n(self):
+        rng = np.random.default_rng(0)
+        small = standard_error_of_mean(rng.normal(size=100))
+        large = standard_error_of_mean(rng.normal(size=10_000))
+        assert large < small
+
+    def test_single_observation_rejected(self):
+        with pytest.raises(AnalysisError):
+            standard_error_of_mean([1.0])

@@ -1,0 +1,158 @@
+"""Tests for layer financial terms and the event-loss lookup."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.lookup import LossLookup
+from repro.core.tables import EltTable
+from repro.core.terms import LayerTerms
+from repro.errors import ConfigurationError
+
+
+class TestLayerTermsValidation:
+    def test_defaults_are_identity_like(self):
+        t = LayerTerms()
+        assert t.occurrence_scalar(100.0) == 100.0
+        assert t.aggregate_scalar(100.0) == 100.0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(occ_retention=-1), dict(agg_retention=-1),
+        dict(occ_limit=0), dict(agg_limit=0),
+        dict(participation=0.0), dict(participation=1.2),
+        dict(occ_retention=math.nan),
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LayerTerms(**kwargs)
+
+
+class TestOccurrenceTerms:
+    T = LayerTerms(occ_retention=100.0, occ_limit=500.0)
+
+    def test_below_retention_zero(self):
+        assert self.T.occurrence_scalar(50.0) == 0.0
+
+    def test_mid_range_linear(self):
+        assert self.T.occurrence_scalar(300.0) == 200.0
+
+    def test_capped_at_limit(self):
+        assert self.T.occurrence_scalar(10_000.0) == 500.0
+
+    def test_vector_matches_scalar(self):
+        losses = np.array([0.0, 50.0, 100.0, 300.0, 700.0, 1e6])
+        vec = self.T.apply_occurrence(losses)
+        scal = [self.T.occurrence_scalar(x) for x in losses]
+        np.testing.assert_allclose(vec, scal)
+
+    def test_does_not_mutate_input(self):
+        losses = np.array([200.0])
+        self.T.apply_occurrence(losses)
+        assert losses[0] == 200.0
+
+
+class TestAggregateTerms:
+    T = LayerTerms(agg_retention=1000.0, agg_limit=5000.0, participation=0.5)
+
+    def test_below_retention(self):
+        assert self.T.aggregate_scalar(500.0) == 0.0
+
+    def test_participation_applied_after_caps(self):
+        # (10_000 - 1000) -> capped at 5000 -> x0.5
+        assert self.T.aggregate_scalar(10_000.0) == 2500.0
+
+    def test_vector_matches_scalar(self):
+        annual = np.array([0.0, 1000.0, 3000.0, 10_000.0])
+        np.testing.assert_allclose(
+            self.T.apply_aggregate(annual),
+            [self.T.aggregate_scalar(x) for x in annual],
+        )
+
+
+class TestTrialOracle:
+    def test_full_trial_arithmetic(self):
+        t = LayerTerms(occ_retention=10.0, occ_limit=100.0,
+                       agg_retention=50.0, agg_limit=120.0, participation=0.8)
+        # events: 5 (below ret), 60 -> 50, 500 -> 100; sum=150
+        # aggregate: min(max(150-50,0),120)=100; x0.8 = 80
+        assert t.trial_loss_scalar([5.0, 60.0, 500.0]) == pytest.approx(80.0)
+
+    def test_empty_trial(self):
+        t = LayerTerms(agg_retention=10.0)
+        assert t.trial_loss_scalar([]) == 0.0
+
+
+class TestLossLookup:
+    def test_dense_layout_chosen_for_compact_ids(self):
+        lk = LossLookup.from_arrays([0, 1, 2], [1.0, 2.0, 3.0])
+        assert lk.kind == "dense"
+
+    def test_sparse_layout_for_huge_ids(self):
+        lk = LossLookup.from_arrays([10**12], [1.0])
+        assert lk.kind == "sparse"
+
+    def test_dense_max_entries_override(self):
+        lk = LossLookup.from_arrays([0, 999], [1.0, 2.0], dense_max_entries=10)
+        assert lk.kind == "sparse"
+
+    @pytest.mark.parametrize("dense_max", [10**6, 1])
+    def test_lookup_values(self, dense_max):
+        lk = LossLookup.from_arrays([5, 10, 20], [1.0, 2.0, 3.0],
+                                    dense_max_entries=dense_max)
+        out = lk(np.array([10, 5, 20, 5]))
+        np.testing.assert_allclose(out, [2.0, 1.0, 3.0, 1.0])
+
+    @pytest.mark.parametrize("dense_max", [10**6, 1])
+    def test_unknown_ids_map_to_zero(self, dense_max):
+        lk = LossLookup.from_arrays([5, 10], [1.0, 2.0],
+                                    dense_max_entries=dense_max)
+        out = lk(np.array([0, 7, 11, 10**9]))
+        np.testing.assert_allclose(out, [0.0, 0.0, 0.0, 0.0])
+
+    def test_dense_and_sparse_agree(self):
+        rng = np.random.default_rng(0)
+        ids = np.sort(rng.choice(10_000, 500, replace=False))
+        vals = rng.random(500)
+        dense = LossLookup.from_arrays(ids, vals)
+        sparse = LossLookup.from_arrays(ids, vals, dense_max_entries=1)
+        queries = rng.integers(0, 12_000, 2000)
+        np.testing.assert_allclose(dense(queries), sparse(queries))
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LossLookup.from_arrays([1, 1], [1.0, 2.0])
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LossLookup.from_arrays([-1], [1.0])
+
+    def test_from_elt(self):
+        elt = EltTable.from_arrays([2, 4], [7.0, 9.0])
+        lk = LossLookup.from_elt(elt)
+        assert lk.get_scalar(4) == 9.0
+
+    def test_from_elts_sums_overlaps(self):
+        a = EltTable.from_arrays([1, 2], [10.0, 20.0])
+        b = EltTable.from_arrays([2, 3], [5.0, 7.0])
+        lk = LossLookup.from_elts([a, b])
+        np.testing.assert_allclose(lk(np.array([1, 2, 3])), [10.0, 25.0, 7.0])
+
+    def test_from_elts_weights(self):
+        a = EltTable.from_arrays([1], [10.0])
+        b = EltTable.from_arrays([1], [10.0])
+        lk = LossLookup.from_elts([a, b], weights=[1.0, 0.5])
+        assert lk.get_scalar(1) == 15.0
+
+    def test_from_elts_weight_count_mismatch(self):
+        a = EltTable.from_arrays([1], [10.0])
+        with pytest.raises(ConfigurationError):
+            LossLookup.from_elts([a], weights=[1.0, 2.0])
+
+    def test_as_dict(self):
+        lk = LossLookup.from_arrays([3, 9], [1.5, 2.5])
+        assert lk.as_dict() == {3: 1.5, 9: 2.5}
+
+    def test_nbytes_positive(self):
+        lk = LossLookup.from_arrays([0, 100], [1.0, 2.0])
+        assert lk.nbytes == 101 * 8  # dense table

@@ -1,0 +1,50 @@
+"""Tests for the fixed-width table renderer and formatters."""
+
+import pytest
+
+from repro.util.tables import format_bytes, format_count, render_table
+
+
+class TestFormatCount:
+    @pytest.mark.parametrize("value, expect", [
+        (5, "5"), (1500, "1.50K"), (2.5e6, "2.50M"), (3e9, "3.00B"),
+        (4e12, "4.00T"), (5e16, "5.00e+16"),
+    ])
+    def test_suffixes(self, value, expect):
+        assert format_count(value) == expect
+
+    def test_nan(self):
+        assert format_count(float("nan")) == "nan"
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize("value, expect", [
+        (512, "512 B"), (2048, "2.00 KiB"), (3 * 1024**2, "3.00 MiB"),
+        (5 * 1024**3, "5.00 GiB"), (7 * 1024**4, "7.00 TiB"),
+    ])
+    def test_suffixes(self, value, expect):
+        assert format_bytes(value) == expect
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        out = render_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_title_prepended(self):
+        out = render_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [[1.23456789]])
+        assert "1.235" in out
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out

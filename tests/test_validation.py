@@ -1,0 +1,85 @@
+"""Tests for argument-validation helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    check_fraction,
+    check_in,
+    check_non_negative,
+    check_positive,
+    check_probability_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.nan, math.inf])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", bad)
+
+    def test_error_mentions_name(self):
+        with pytest.raises(ConfigurationError, match="premium"):
+            check_positive("premium", -1)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_accepts_inf(self):
+        """Limits are often unbounded: inf must pass."""
+        assert check_non_negative("x", math.inf) == math.inf
+
+    @pytest.mark.parametrize("bad", [-0.1, math.nan])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", bad)
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert check_fraction("x", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, math.nan])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_fraction("x", bad)
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_valid(self):
+        out = check_probability_vector("p", [0.25, 0.75])
+        assert isinstance(out, np.ndarray)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector("p", [0.3, 0.3])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector("p", [-0.5, 1.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector("p", [])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector("p", [[0.5, 0.5]])
+
+
+class TestCheckIn:
+    def test_accepts_member(self):
+        assert check_in("mode", "a", {"a", "b"}) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            check_in("mode", "c", {"a", "b"})
