@@ -1,0 +1,155 @@
+"""E13 — fused portfolio sweep vs the per-layer path.
+
+The fused :class:`~repro.core.kernels.PortfolioKernel` replaces L
+per-layer passes over the YET (L gathers, L ``bincount`` reductions)
+with one blocked sweep whose trial-boundary decode and occurrence-block
+traffic are shared across layers.  This bench measures both paths on the
+same portfolio across layer counts L ∈ {1, 4, 16, 64} and emits a JSON
+record (see ``run_tier2.py``) so the perf trajectory is tracked PR over
+PR.  The acceptance bar of the fusion work: ≥ 2x throughput at L = 16.
+
+``run_per_layer`` below *is* the pre-fusion ``VectorizedEngine`` body,
+kept here as the measured baseline (the engines themselves now all run
+the fused kernel).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import build_portfolio_workload
+from repro.core.engines import SequentialEngine
+from repro.core.kernels import PortfolioKernel
+
+LAYER_COUNTS = (1, 4, 16, 64)
+
+#: The default workload shape: ~500k occurrences over a catalogue whose
+#: dense tables are big enough to spill L2 when walked per layer.
+DEFAULT_SHAPE = dict(
+    n_trials=2_000,
+    mean_events_per_trial=250.0,
+    elts_per_layer=2,
+    elt_rows=2_000,
+    catalog_events=20_000,
+    seed=7,
+)
+
+
+def run_per_layer(portfolio, yet, dense_max_entries: int = 4_000_000) -> dict:
+    """The per-layer reference path (the pre-fusion vectorized engine)."""
+    trials, event_ids, n_trials = yet.trials, yet.event_ids, yet.n_trials
+    out = {}
+    for layer in portfolio:
+        lookup = layer.lookup(dense_max_entries=dense_max_entries)
+        losses = lookup(event_ids)
+        retained = layer.terms.apply_occurrence(losses)
+        annual = np.bincount(trials, weights=retained, minlength=n_trials)
+        out[layer.layer_id] = layer.terms.apply_aggregate(annual)
+    return out
+
+
+def run_fused(kernel: PortfolioKernel, yet) -> np.ndarray:
+    return kernel.run(yet.trials, yet.event_ids, yet.n_trials)
+
+
+def _time(fn, repeats: int) -> float:
+    fn()  # warm caches and the kernel/lookup builds
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure(layer_counts=LAYER_COUNTS, repeats: int = 3,
+            **shape) -> dict:
+    """Run both paths across layer counts; returns the JSON-able record.
+
+    Throughput is layer-occurrences per second (`L × n_occurrences / s`),
+    the unit the paper's ~10⁹-lookups accounting is written in.
+    """
+    shape = {**DEFAULT_SHAPE, **shape}
+    rows = []
+    for n_layers in layer_counts:
+        wl = build_portfolio_workload(n_layers=n_layers, **shape)
+        kernel = wl.portfolio.kernel()
+        yet = wl.yet
+
+        # Parity before timing: a wrong fast path is not a fast path.
+        fused = run_fused(kernel, yet)
+        per_layer = run_per_layer(wl.portfolio, yet)
+        for row, lid in enumerate(kernel.layer_ids):
+            np.testing.assert_allclose(fused[row], per_layer[lid],
+                                       rtol=1e-9, atol=1e-6)
+
+        t_pl = _time(lambda: run_per_layer(wl.portfolio, yet), repeats)
+        t_f = _time(lambda: run_fused(kernel, yet), repeats)
+        lanes = n_layers * yet.n_occurrences
+        rows.append({
+            "n_layers": n_layers,
+            "n_occurrences": yet.n_occurrences,
+            "per_layer_seconds": t_pl,
+            "fused_seconds": t_f,
+            "per_layer_lanes_per_s": lanes / t_pl,
+            "fused_lanes_per_s": lanes / t_f,
+            "speedup": t_pl / t_f,
+        })
+    return {"experiment": "e13_fused_portfolio", "shape": shape,
+            "repeats": repeats, "rows": rows}
+
+
+def write_json(record: dict, path: str | Path | None = None) -> Path:
+    """Write the bench record next to the repo root (the trajectory file)."""
+    if path is None:
+        path = Path(__file__).resolve().parent.parent / "BENCH_e13.json"
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+# -- pytest entry points ----------------------------------------------------
+
+@pytest.fixture(scope="module")
+def record():
+    return measure()
+
+
+def test_fused_matches_oracle():
+    """The timed path is the shipped path: check it against the scalar
+    oracle once at a sequential-feasible size."""
+    wl = build_portfolio_workload(n_layers=4, **{**DEFAULT_SHAPE,
+                                                 "n_trials": 100,
+                                                 "mean_events_per_trial": 50.0})
+    kernel = wl.portfolio.kernel()
+    fused = run_fused(kernel, wl.yet)
+    oracle = SequentialEngine().run(wl.portfolio, wl.yet)
+    for row, lid in enumerate(kernel.layer_ids):
+        np.testing.assert_allclose(fused[row], oracle.ylt_by_layer[lid].losses,
+                                   rtol=1e-9, atol=1e-6)
+
+
+def test_fused_speedup_at_16_layers(record):
+    """The acceptance bar: ≥ 2x over the per-layer path at L = 16."""
+    row = next(r for r in record["rows"] if r["n_layers"] == 16)
+    assert row["speedup"] >= 2.0, (
+        f"fused sweep was only {row['speedup']:.2f}x the per-layer path at "
+        "L=16 (bar is 2x)"
+    )
+
+
+def test_report(record):
+    """Emit the table and the JSON trajectory file."""
+    write_json(record)
+    print()
+    print(f"{'L':>4} {'occurrences':>12} {'per-layer':>12} {'fused':>12} {'speedup':>8}")
+    for r in record["rows"]:
+        print(f"{r['n_layers']:>4} {r['n_occurrences']:>12,} "
+              f"{r['per_layer_seconds']*1e3:>10.1f}ms "
+              f"{r['fused_seconds']*1e3:>10.1f}ms "
+              f"{r['speedup']:>7.2f}x")

@@ -1,0 +1,62 @@
+"""Tier-2 perf entry point: run the fused-vs-per-layer bench, write JSON.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_tier2.py [--full] [--out PATH]
+
+The default (small) sizes finish in a few seconds so every PR can
+refresh ``BENCH_e13.json`` and compare against the committed trajectory;
+``--full`` runs the paper-shaped sizes from ``bench_e13_fused_portfolio``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_e13_fused_portfolio import LAYER_COUNTS, measure, write_json
+
+#: Reduced shape for the per-PR tier-2 run: same layer counts, ~8x fewer
+#: occurrences, so the trajectory stays comparable but cheap.
+SMALL_SHAPE = dict(
+    n_trials=500,
+    mean_events_per_trial=120.0,
+    elts_per_layer=2,
+    elt_rows=1_000,
+    catalog_events=8_000,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run the full (default-shape) sizes")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output JSON path (default: repo-root BENCH_e13.json)")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    shape = {} if args.full else SMALL_SHAPE
+    record = measure(layer_counts=LAYER_COUNTS, repeats=args.repeats, **shape)
+    record["tier"] = "full" if args.full else "small"
+    path = write_json(record, args.out)
+
+    print(f"wrote {path}")
+    print(f"{'L':>4} {'per-layer':>12} {'fused':>12} {'speedup':>8}")
+    for r in record["rows"]:
+        print(f"{r['n_layers']:>4} {r['per_layer_seconds']*1e3:>10.1f}ms "
+              f"{r['fused_seconds']*1e3:>10.1f}ms {r['speedup']:>7.2f}x")
+
+    at16 = next(r for r in record["rows"] if r["n_layers"] == 16)
+    if at16["speedup"] < 2.0:
+        print(f"WARNING: speedup at L=16 is {at16['speedup']:.2f}x (bar: 2x)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,16 +7,37 @@ same financial arithmetic) on different execution substrates:
 name        substrate
 ========== ===============================================================
 sequential  pure-Python scalar loop — the paper's "sequential counterpart"
-vectorized  whole-array NumPy — data-parallel, global-memory-only model
+            and the numerical oracle every other engine is tested against
+vectorized  whole-array NumPy over the fused portfolio kernel — the
+            data-parallel, global-memory-only model
 device      :class:`~repro.hpc.device.SimulatedGpu` with chunking and
-            constant-memory lookup placement — the paper's optimised GPU
-multicore   trial-block decomposition over a process pool
+            constant-memory lookup placement — the paper's optimised GPU;
+            each YET chunk is uploaded once and consumed by every layer
+multicore   trial-block decomposition over a (lazily spawned) process
+            pool; the stacked kernel ships to each worker once per run
 mapreduce   a MapReduce job over the simulated DFS (large file space path)
 distributed trial-scatter / lookup-broadcast / YLT-gather over SimCluster
 ========== ===============================================================
 
+The portfolio hot path is the shared
+:class:`~repro.core.kernels.PortfolioKernel`: per-layer lookups are
+stacked once per (portfolio, ``dense_max_entries``) — dense layers as
+one ``(D, width)`` matrix, sparse layers as a unified CSR structure,
+terms as ``(L,)`` vectors — and the YET is swept in cache-sized
+occurrence blocks with one shared trial-boundary scan and an
+``np.add.reduceat`` folding all layers into the whole ``(L, n_trials)``
+annual matrix (unsorted streams get a block-local stable sort first).
+The vectorized, multicore, and
+out-of-core engines are thin drivers of that sweep (whole-array,
+per-trial-block, and per-stored-chunk respectively); the device engine
+mirrors the same fusion on the simulated GPU by streaming each YET chunk
+past all layers while it is resident.  The sequential engine
+deliberately stays scalar: it is the baseline the paper's speedups are
+measured against.
+
 Numerical equivalence across all six is a tested invariant; their
-relative wall-clock behaviour is experiments E3-E5 and E7.
+relative wall-clock behaviour is experiments E3-E5, E7, and E13 (the
+fused-vs-per-layer sweep).
 """
 
 from repro.core.engines.base import Engine, EngineResult

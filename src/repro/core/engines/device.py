@@ -6,13 +6,21 @@ study [7] on :class:`~repro.hpc.device.SimulatedGpu`:
 - the YET is **streamed through global memory in chunks** sized by the
   :class:`~repro.hpc.chunking.ChunkPlanner` against the device's real
   capacity (E5's chunk-size sweep drives ``max_rows_per_chunk``);
-- the layer's event-loss lookup is placed in **constant memory** when it
-  fits (dense, ≤64 KiB) and global memory otherwise;
+- streaming is **fused across the portfolio**: layers are grouped into
+  resident batches sized to the global-memory budget, and within a
+  batch each YET chunk is uploaded once and consumed by every layer
+  while it is resident — host-to-device traffic is one YET pass per
+  batch (one total for portfolios that fit) instead of one per layer
+  (the device-side analogue of the fused
+  :class:`~repro.core.kernels.PortfolioKernel` sweep);
+- each layer's event-loss lookup is placed in **constant memory** while
+  it fits (dense, ≤64 KiB cumulatively across layers) and global memory
+  otherwise;
 - each kernel block reduces its occurrences into a **shared-memory
   accumulator** when the block's trial span fits the 48 KiB shared space,
   falling back to global-memory accumulation (the analogue of global
   atomics) otherwise;
-- aggregate terms run as a second, trials-wide kernel.
+- aggregate terms run as a second, trials-wide kernel per layer.
 
 ``use_constant`` / ``use_shared`` switches exist purely for the E5
 ablation: turning them off yields the "naive GPU" the study improved on.
@@ -62,7 +70,8 @@ class DeviceEngine(Engine):
     # -- kernels -------------------------------------------------------------
 
     def _make_layer_kernel(self, terms, lookup_kind: str, use_shared: bool,
-                           lookup_in_constant: bool) -> Kernel:
+                           lookup_in_constant: bool,
+                           constant_name: str = "lookup") -> Kernel:
         occ_ret = terms.occ_retention
         occ_lim = terms.occ_limit
 
@@ -70,7 +79,7 @@ class DeviceEngine(Engine):
             s = ctx.rows()
             ev = event[s]
             if lookup_kind == "dense":
-                table = ctx.constant["lookup"] if lookup_in_constant else lookup_bufs["lookup"]
+                table = ctx.constant[constant_name] if lookup_in_constant else lookup_bufs["lookup"]
                 clipped = np.clip(ev, 0, table.size - 1)
                 losses = np.where(ev < table.size, table[clipped], 0.0)
             else:
@@ -126,84 +135,137 @@ class DeviceEngine(Engine):
         yelt_by_layer: dict[int, YeltTable] | None = {} if emit_yelt else None
         layer_details = {}
 
+        # Partition the portfolio into resident batches: a batch's
+        # worst-case footprint (all lookups spilled to global + one
+        # annual vector per layer) may claim at most half the global
+        # budget, leaving the rest for the streamed YET chunk.  Small
+        # portfolios form one batch (fully fused); a portfolio too big to
+        # co-reside degrades gracefully to one YET pass per batch instead
+        # of failing mid-upload.
+        resident_cap = max(self.planner.budget_bytes // 2, 1)
+        batches: list[list] = [[]]
+        batch_bytes = 0
         for layer in portfolio:
-            gpu.reset()
             lookup = layer.lookup(dense_max_entries=self.dense_max_entries)
+            need = lookup.nbytes + n_trials * 8
+            if batches[-1] and batch_bytes + need > resident_cap:
+                batches.append([])
+                batch_bytes = 0
+            batches[-1].append((layer, lookup))
+            batch_bytes += need
+
+        n_chunks_total = 0
+        for batch in batches:
+            gpu.reset()
+
+            # Account the batch's residency before any upload so an
+            # impossible batch fails with the planner's capacity
+            # diagnostics, not a mid-upload error.  Placement is simulated
+            # with the same first-come rule the staging loop applies
+            # below, so the global-resident figure is exact.
+            constant_free = gpu.properties.constant_mem_bytes
+            global_resident = len(batch) * n_trials * 8  # annual vectors
+            for _, lookup in batch:
+                if (self.use_constant and lookup.kind == "dense"
+                        and lookup.nbytes <= constant_free):
+                    constant_free -= lookup.nbytes
+                else:
+                    global_resident += lookup.nbytes
             plan = self.planner.plan(
                 n_rows=n_rows,
                 row_bytes=_YET_ROW_BYTES,
-                lookup_bytes=lookup.nbytes,
+                lookup_bytes=0,  # placement already decided above
+                resident_bytes=global_resident,
                 shared_bytes_per_row=8,
                 max_rows_per_chunk=self.max_rows_per_chunk,
             )
-            in_constant = (
-                self.use_constant
-                and lookup.kind == "dense"
-                and gpu.fits_constant(lookup.nbytes)
-            )
-            lookup_bufs: dict[str, str] = {}
-            if lookup.kind == "dense":
-                if in_constant:
-                    gpu.upload_constant("lookup", lookup.table_array)
+
+            # Stage the batch: constant memory fills first-come
+            # (cumulatively, as a real 64 KiB constant bank would), the
+            # rest spills to global.
+            staged = []
+            for layer, lookup in batch:
+                lid = layer.layer_id
+                in_constant = (
+                    self.use_constant
+                    and lookup.kind == "dense"
+                    and gpu.fits_constant(lookup.nbytes)
+                )
+                lookup_bufs: dict[str, str] = {}
+                if lookup.kind == "dense":
+                    if in_constant:
+                        gpu.upload_constant(f"lookup_{lid}", lookup.table_array)
+                    else:
+                        gpu.upload(f"lookup_{lid}", lookup.table_array)
+                        lookup_bufs["lookup"] = f"lookup_{lid}"
                 else:
-                    gpu.upload("lookup", lookup.table_array)
-                    lookup_bufs["lookup"] = "lookup"
-            else:
-                gpu.upload("lookup_ids", lookup.ids)
-                gpu.upload("lookup_vals", lookup.values)
-                lookup_bufs["lookup_ids"] = "lookup_ids"
-                lookup_bufs["lookup_vals"] = "lookup_vals"
+                    gpu.upload(f"lookup_ids_{lid}", lookup.ids)
+                    gpu.upload(f"lookup_vals_{lid}", lookup.values)
+                    lookup_bufs["lookup_ids"] = f"lookup_ids_{lid}"
+                    lookup_bufs["lookup_vals"] = f"lookup_vals_{lid}"
+                gpu.alloc(f"annual_{lid}", n_trials, np.float64)
+                kernel = self._make_layer_kernel(
+                    layer.terms, lookup.kind, self.use_shared, in_constant,
+                    constant_name=f"lookup_{lid}",
+                )
+                staged.append((layer, lookup, lookup_bufs, in_constant, kernel))
 
-            gpu.alloc("annual", n_trials, np.float64)
-            kernel = self._make_layer_kernel(
-                layer.terms, lookup.kind, self.use_shared, in_constant
-            )
-
+            # Fused streaming: each YET chunk is uploaded once and every
+            # layer in the batch consumes it before the next chunk
+            # replaces it — H2D traffic is one YET pass per batch instead
+            # of one per layer.
             start = 0
             chunk_index = 0
             while start < n_rows:
                 stop = min(start + plan.rows_per_chunk, n_rows)
                 gpu.upload("trial_chunk", trials[start:stop])
                 gpu.upload("event_chunk", event_ids[start:stop])
-                gpu.launch(
-                    kernel,
-                    stop - start,
-                    rows_per_block=plan.rows_per_block,
-                    trial="trial_chunk",
-                    event="event_chunk",
-                    annual="annual",
-                    **lookup_bufs,
-                )
+                for layer, lookup, lookup_bufs, in_constant, kernel in staged:
+                    gpu.launch(
+                        kernel,
+                        stop - start,
+                        rows_per_block=plan.rows_per_block,
+                        trial="trial_chunk",
+                        event="event_chunk",
+                        annual=f"annual_{layer.layer_id}",
+                        **lookup_bufs,
+                    )
                 gpu.free("trial_chunk")
                 gpu.free("event_chunk")
                 start = stop
                 chunk_index += 1
+            n_chunks_total += chunk_index
 
-            agg_kernel = self._make_agg_kernel(layer.terms)
-            gpu.launch(agg_kernel, n_trials,
-                       rows_per_block=plan.rows_per_block, annual="annual")
-            ylt_by_layer[layer.layer_id] = YltTable(gpu.download("annual"))
-            layer_details[layer.layer_id] = {
-                "n_chunks": chunk_index,
-                "rows_per_chunk": plan.rows_per_chunk,
-                "rows_per_block": plan.rows_per_block,
-                "lookup_in_constant": in_constant,
-                "lookup_kind": lookup.kind,
-                "lookup_bytes": lookup.nbytes,
-            }
+            for layer, lookup, lookup_bufs, in_constant, kernel in staged:
+                lid = layer.layer_id
+                agg_kernel = self._make_agg_kernel(layer.terms)
+                gpu.launch(agg_kernel, n_trials,
+                           rows_per_block=plan.rows_per_block,
+                           annual=f"annual_{lid}")
+                ylt_by_layer[lid] = YltTable(gpu.download(f"annual_{lid}"))
+                layer_details[lid] = {
+                    "n_chunks": chunk_index,
+                    "rows_per_chunk": plan.rows_per_chunk,
+                    "rows_per_block": plan.rows_per_block,
+                    "lookup_in_constant": in_constant,
+                    "lookup_kind": lookup.kind,
+                    "lookup_bytes": lookup.nbytes,
+                }
 
-            if emit_yelt:
-                # The YELT is a host-side artefact; regenerate it with the
-                # same arithmetic (device memory could not hold it anyway,
-                # which is §II's point about YELT-level analysis).
-                losses = lookup(event_ids)
-                retained = layer.terms.apply_occurrence(losses)
-                covered = losses > 0.0
-                table = ColumnTable.from_arrays(
-                    YELT_SCHEMA, trial=trials[covered], event_id=event_ids[covered],
-                    loss=retained[covered],
-                )
-                yelt_by_layer[layer.layer_id] = YeltTable(table, n_trials)
+                if emit_yelt:
+                    # The YELT is a host-side artefact; regenerate it with
+                    # the same arithmetic (device memory could not hold it
+                    # anyway, which is §II's point about YELT-level
+                    # analysis).
+                    losses = lookup(event_ids)
+                    retained = layer.terms.apply_occurrence(losses)
+                    covered = losses > 0.0
+                    table = ColumnTable.from_arrays(
+                        YELT_SCHEMA, trial=trials[covered],
+                        event_id=event_ids[covered],
+                        loss=retained[covered],
+                    )
+                    yelt_by_layer[lid] = YeltTable(table, n_trials)
 
         portfolio_ylt = YltTable.sum(list(ylt_by_layer.values()))
         return EngineResult(
@@ -214,6 +276,8 @@ class DeviceEngine(Engine):
             seconds=time.perf_counter() - t0,
             details={
                 "layers": layer_details,
+                "n_batches": len(batches),
+                "n_chunks_total": n_chunks_total,
                 "h2d_bytes": gpu.transfers.h2d_bytes,
                 "d2h_bytes": gpu.transfers.d2h_bytes,
                 "launches": len(gpu.launch_log),

@@ -2,11 +2,17 @@
 
 The YET decomposes perfectly by trial (no occurrence crosses a trial
 boundary), so the analysis parallelises as: split the trial range into
-contiguous blocks, run the vectorised arithmetic per block, concatenate
-the per-block YLT slices.  Aggregate terms are block-local because each
-trial lives in exactly one block.  Workers receive only primitive arrays
-(picklable); on single-core hosts the pool degrades to serial execution
-with identical results.
+contiguous blocks, run the **fused portfolio sweep** per block, and
+concatenate the per-block ``(L, trials)`` slices.  Aggregate terms are
+block-local because each trial lives in exactly one block.
+
+The stacked :class:`~repro.core.kernels.PortfolioKernel` is shipped to
+each worker once per run through the pool initializer — not once per
+layer per block, as the old per-layer task list did — so the dominant
+transfer is the YET slices themselves.  The pool is constructed lazily
+on first use; :meth:`MulticoreEngine.close` (or ``with`` support) is the
+shutdown path.  On single-core hosts the pool degrades to serial
+execution with identical results.
 """
 
 from __future__ import annotations
@@ -16,26 +22,20 @@ import time
 import numpy as np
 
 from repro.core.engines.base import Engine, EngineResult
-from repro.core.lookup import LossLookup
+from repro.core.kernels import PortfolioKernel
 from repro.core.portfolio import Portfolio
 from repro.core.tables import YetTable, YltTable
-from repro.core.terms import LayerTerms
 from repro.errors import EngineError
 from repro.hpc.pool import WorkPool
 
 __all__ = ["MulticoreEngine"]
 
 
-def _run_layer_block(lookup_ids, lookup_vals, dense_max_entries, terms_tuple,
-                     trials_block, events_block, n_trials_block) -> np.ndarray:
-    """Worker: one layer over one renumbered trial block (picklable)."""
-    lookup = LossLookup.from_arrays(
-        lookup_ids, lookup_vals, dense_max_entries=dense_max_entries
-    )
-    terms = LayerTerms(*terms_tuple)
-    retained = terms.apply_occurrence(lookup(events_block))
-    annual = np.bincount(trials_block, weights=retained, minlength=n_trials_block)
-    return terms.apply_aggregate(annual)
+def _run_portfolio_block(kernel: PortfolioKernel, trials_block, events_block,
+                         n_trials_block) -> np.ndarray:
+    """Worker: fused sweep over one renumbered trial block (picklable)."""
+    annual = kernel.sweep(trials_block, events_block, n_trials_block)
+    return kernel.apply_aggregate(annual)
 
 
 class MulticoreEngine(Engine):
@@ -45,8 +45,32 @@ class MulticoreEngine(Engine):
 
     def __init__(self, n_workers: int | None = None,
                  dense_max_entries: int = 4_000_000) -> None:
-        self.pool = WorkPool(n_workers)
+        self.n_workers = n_workers
         self.dense_max_entries = dense_max_entries
+        self._pool: WorkPool | None = None
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    @property
+    def pool(self) -> WorkPool:
+        """The work pool, constructed lazily on first access."""
+        if self._pool is None:
+            self._pool = WorkPool(self.n_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; engine stays usable)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "MulticoreEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- run ---------------------------------------------------------------
 
     def run(self, portfolio: Portfolio, yet: YetTable, *,
             emit_yelt: bool = False) -> EngineResult:
@@ -58,6 +82,7 @@ class MulticoreEngine(Engine):
             )
         t0 = time.perf_counter()
 
+        kernel = portfolio.kernel(dense_max_entries=self.dense_max_entries)
         n_workers = self.pool.n_workers
         n_trials = yet.n_trials
         n_blocks = min(n_workers, n_trials)
@@ -68,19 +93,14 @@ class MulticoreEngine(Engine):
             if bounds[i + 1] > bounds[i]
         ]
 
-        ylt_by_layer: dict[int, YltTable] = {}
-        for layer in portfolio:
-            lookup = layer.lookup(dense_max_entries=self.dense_max_entries)
-            t = layer.terms
-            terms_tuple = (t.occ_retention, t.occ_limit, t.agg_retention,
-                           t.agg_limit, t.participation)
-            args = [
-                (lookup.ids, lookup.values, self.dense_max_entries, terms_tuple,
-                 b.trials, b.event_ids, b.n_trials)
-                for b in blocks
-            ]
-            partials = self.pool.starmap(_run_layer_block, args)
-            ylt_by_layer[layer.layer_id] = YltTable(np.concatenate(partials))
+        partials = self.pool.starmap_shared(
+            _run_portfolio_block, kernel,
+            [(b.trials, b.event_ids, b.n_trials) for b in blocks],
+        )
+        final = np.concatenate(partials, axis=1)
+        ylt_by_layer = {
+            lid: YltTable(final[row]) for row, lid in enumerate(kernel.layer_ids)
+        }
 
         portfolio_ylt = YltTable.sum(list(ylt_by_layer.values()))
         return EngineResult(
@@ -88,5 +108,6 @@ class MulticoreEngine(Engine):
             ylt_by_layer=ylt_by_layer,
             portfolio_ylt=portfolio_ylt,
             seconds=time.perf_counter() - t0,
-            details={"n_workers": n_workers, "n_blocks": len(blocks)},
+            details={"n_workers": n_workers, "n_blocks": len(blocks),
+                     "fused_layers": kernel.n_layers},
         )

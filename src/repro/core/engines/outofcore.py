@@ -2,10 +2,13 @@
 
 At paper scale the YET does not fit memory; §II's scan-oriented remedy
 is to stream it.  This engine reads YET chunks from a
-:class:`~repro.data.store.ChunkStore` (one chunk resident at a time),
-applies lookup + occurrence terms per chunk, and accumulates the dense
-annual vector — which *does* fit memory (the whole point of the
-YLT-level representation).  Aggregate terms apply once at the end.
+:class:`~repro.data.store.ChunkStore` (one chunk resident at a time) and
+runs the fused :class:`~repro.core.kernels.PortfolioKernel` sweep per
+chunk — every layer consumes the chunk while it is resident, so the YET
+is scanned once total rather than once per layer — accumulating into one
+dense ``(L, n_trials)`` annual matrix, which *does* fit memory (the
+whole point of the YLT-level representation).  Aggregate terms apply
+once at the end.
 
 It is not in the default registry because its input is a stored table
 rather than an in-memory :class:`YetTable`; use :meth:`run_from_store`.
@@ -51,14 +54,8 @@ class OutOfCoreEngine:
             raise EngineError(f"n_trials must be positive, got {n_trials}")
         t0 = time.perf_counter()
 
-        lookups = {
-            layer.layer_id: layer.lookup(dense_max_entries=self.dense_max_entries)
-            for layer in portfolio
-        }
-        annual = {
-            layer.layer_id: np.zeros(n_trials, dtype=np.float64)
-            for layer in portfolio
-        }
+        kernel = portfolio.kernel(dense_max_entries=self.dense_max_entries)
+        annual = np.zeros((kernel.n_layers, n_trials), dtype=np.float64)
         chunks_read = 0
         rows_read = 0
         for chunk in store.iter_chunks(table_name):
@@ -72,15 +69,11 @@ class OutOfCoreEngine:
                 raise EngineError("stored YET trial indices out of range")
             chunks_read += 1
             rows_read += chunk.n_rows
-            for layer in portfolio:
-                retained = layer.terms.apply_occurrence(
-                    lookups[layer.layer_id](events)
-                )
-                np.add.at(annual[layer.layer_id], trials, retained)
+            kernel.sweep(trials, events, n_trials, out=annual)
 
+        final = kernel.apply_aggregate(annual)
         ylt_by_layer = {
-            lid: YltTable(portfolio.layer(lid).terms.apply_aggregate(vec))
-            for lid, vec in annual.items()
+            lid: YltTable(final[row]) for row, lid in enumerate(kernel.layer_ids)
         }
         portfolio_ylt = YltTable.sum(list(ylt_by_layer.values()))
         return EngineResult(
@@ -88,5 +81,6 @@ class OutOfCoreEngine:
             ylt_by_layer=ylt_by_layer,
             portfolio_ylt=portfolio_ylt,
             seconds=time.perf_counter() - t0,
-            details={"chunks_read": chunks_read, "rows_read": rows_read},
+            details={"chunks_read": chunks_read, "rows_read": rows_read,
+                     "fused_layers": kernel.n_layers},
         )

@@ -1,18 +1,18 @@
 """The vectorised NumPy engine — the data-parallel path.
 
-This is the "GPU with everything in global memory" model of DESIGN.md:
-each layer is one fused sweep of whole-array operations — a gather for
-the ELT lookup, clipped subtraction for the occurrence terms, a bincount
-for the per-trial aggregation, and a second clipped subtraction for the
-aggregate terms.  One occurrence is one array lane, exactly as one CUDA
-thread handles one occurrence in the companion study.
+This is the "GPU with everything in global memory" model of DESIGN.md,
+now executed as **one fused sweep for the whole portfolio**: the shared
+:class:`~repro.core.kernels.PortfolioKernel` gathers each occurrence
+block once for every layer, broadcasts the occurrence terms over the
+``(L, block)`` loss matrix, and reduces all layers through one shared
+trial-boundary ``reduceat`` — replacing the former L per-layer passes
+over the same YET arrays.  One occurrence is one array lane, exactly as
+one CUDA thread handles one occurrence in the companion study.
 """
 
 from __future__ import annotations
 
 import time
-
-import numpy as np
 
 from repro.core.engines.base import Engine, EngineResult
 from repro.core.portfolio import Portfolio
@@ -23,12 +23,14 @@ __all__ = ["VectorizedEngine"]
 
 
 class VectorizedEngine(Engine):
-    """Whole-array aggregate analysis."""
+    """Whole-array aggregate analysis over the fused portfolio kernel."""
 
     name = "vectorized"
 
-    def __init__(self, dense_max_entries: int = 4_000_000) -> None:
+    def __init__(self, dense_max_entries: int = 4_000_000,
+                 block_occurrences: int | None = None) -> None:
         self.dense_max_entries = dense_max_entries
+        self.block_occurrences = block_occurrences
 
     def run(self, portfolio: Portfolio, yet: YetTable, *,
             emit_yelt: bool = False) -> EngineResult:
@@ -39,20 +41,24 @@ class VectorizedEngine(Engine):
         event_ids = yet.event_ids
         n_trials = yet.n_trials
 
-        ylt_by_layer: dict[int, YltTable] = {}
-        yelt_by_layer: dict[int, YeltTable] | None = {} if emit_yelt else None
+        kernel = portfolio.kernel(dense_max_entries=self.dense_max_entries)
+        final = kernel.run(
+            trials, event_ids, n_trials,
+            block_occurrences=self.block_occurrences,
+        )
+        ylt_by_layer = {
+            lid: YltTable(final[row]) for row, lid in enumerate(kernel.layer_ids)
+        }
 
-        for layer in portfolio:
-            lookup = layer.lookup(dense_max_entries=self.dense_max_entries)
-            losses = lookup(event_ids)                      # gather
-            retained = layer.terms.apply_occurrence(losses)  # occurrence terms
-            annual = np.bincount(trials, weights=retained, minlength=n_trials)
-            ylt = YltTable(layer.terms.apply_aggregate(annual))
-            ylt_by_layer[layer.layer_id] = ylt
-            if emit_yelt:
+        yelt_by_layer: dict[int, YeltTable] | None = None
+        if emit_yelt:
+            yelt_by_layer = {}
+            for row, lid in enumerate(kernel.layer_ids):
                 # One YELT row per *covered* occurrence (the layer's ELTs
                 # price the event), carrying the post-occurrence-terms
                 # loss — zero rows are real occurrences below retention.
+                losses = kernel.gather_layer(row, event_ids)
+                retained = kernel.occurrence_row(row, losses)
                 covered = losses > 0.0
                 table = ColumnTable.from_arrays(
                     YELT_SCHEMA,
@@ -60,7 +66,7 @@ class VectorizedEngine(Engine):
                     event_id=event_ids[covered],
                     loss=retained[covered],
                 )
-                yelt_by_layer[layer.layer_id] = YeltTable(table, n_trials)
+                yelt_by_layer[lid] = YeltTable(table, n_trials)
 
         portfolio_ylt = YltTable.sum(list(ylt_by_layer.values()))
         return EngineResult(
@@ -69,5 +75,10 @@ class VectorizedEngine(Engine):
             portfolio_ylt=portfolio_ylt,
             yelt_by_layer=yelt_by_layer,
             seconds=time.perf_counter() - t0,
-            details={"occurrences_processed": event_ids.size * portfolio.n_layers},
+            details={
+                "occurrences_processed": event_ids.size * portfolio.n_layers,
+                "fused_layers": kernel.n_layers,
+                "block_occurrences": self.block_occurrences
+                or kernel.block_occurrences,
+            },
         )

@@ -1,0 +1,349 @@
+"""The fused multi-layer portfolio kernel.
+
+Every engine used to price a portfolio layer-by-layer: for L layers that
+is L full passes over the same ``trials``/``event_ids`` arrays, L
+separate gathers, and L separate ``bincount`` reductions — linear in
+redundant memory traffic, which is exactly the data-movement cost §II
+says dominates the ~10⁹ event-loss lookups of one aggregate run.
+
+:class:`PortfolioKernel` fuses those passes.  It precomputes, once per
+(portfolio, ``dense_max_entries``):
+
+- a **stacked dense lookup**: all dense layers as one ``(D, width)``
+  matrix (rows zero-padded to the widest table, so padding reads as
+  "unknown event → 0");
+- a **unified CSR sparse lookup**: the sparse layers' sorted ids/values
+  concatenated with an offsets vector;
+- ``(L,)`` **term vectors** (``occ_retention``, ``occ_limit``,
+  ``agg_retention``, ``agg_limit``, ``participation``) broadcast over
+  the loss matrix instead of re-read per layer.
+
+The :meth:`sweep` then streams the YET in cache-sized occurrence blocks:
+each block's event ids are gathered once per layer row while the block
+(and its out-of-bounds mask) is hot in cache, sparse layers gather
+through the same :func:`~repro.core.lookup.sparse_gather_into` the
+scalar path uses, occurrence terms broadcast over the ``(L, block)``
+matrix in place, and one **shared segment reduction** accumulates the
+full ``(L, n_trials)`` annual matrix: because YET rows are sorted by
+trial, the per-trial boundaries are computed once per block and
+``np.add.reduceat`` folds all L layers over them — the trial index
+stream is decoded once instead of L times.  Unsorted inputs get a
+block-local stable sort first and take the same reduction.  Either way,
+L passes collapse into one.
+
+Kernel rows are ordered dense-first; :attr:`layer_ids` maps row → layer.
+The kernel holds only plain arrays, so it pickles whole — the multicore
+engine ships it to each worker once per run instead of re-sending lookup
+arrays per layer per block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lookup import sparse_gather_into
+from repro.errors import ConfigurationError
+
+__all__ = ["PortfolioKernel", "DEFAULT_BLOCK_OCCURRENCES"]
+
+#: Occurrence-block width of the fused sweep.  Sized so the ``(L, block)``
+#: loss matrix of a mid-sized portfolio stays cache-resident (16 layers ×
+#: 32k lanes × 8 B = 4 MiB) — the CPU analogue of the paper's "chunk to
+#: fit the fast memory" rule.
+DEFAULT_BLOCK_OCCURRENCES = 32_768
+
+
+class PortfolioKernel:
+    """Stacked lookups + term vectors for one portfolio, swept fused.
+
+    Build with :meth:`from_portfolio` (or fetch the cached instance via
+    :meth:`Portfolio.kernel`).  All state is plain NumPy, so instances
+    are picklable and safe to ship to worker processes.
+    """
+
+    __slots__ = (
+        "layer_ids", "occ_retention", "occ_limit", "agg_retention",
+        "agg_limit", "participation", "dense_stack", "sparse_ids",
+        "sparse_values", "sparse_offsets", "block_occurrences",
+    )
+
+    def __init__(
+        self,
+        *,
+        layer_ids: tuple[int, ...],
+        occ_retention: np.ndarray,
+        occ_limit: np.ndarray,
+        agg_retention: np.ndarray,
+        agg_limit: np.ndarray,
+        participation: np.ndarray,
+        dense_stack: np.ndarray,
+        sparse_ids: np.ndarray,
+        sparse_values: np.ndarray,
+        sparse_offsets: np.ndarray,
+        block_occurrences: int = DEFAULT_BLOCK_OCCURRENCES,
+    ) -> None:
+        n_layers = len(layer_ids)
+        if n_layers == 0:
+            raise ConfigurationError("a portfolio kernel needs at least one layer")
+        for name, vec in (("occ_retention", occ_retention),
+                          ("occ_limit", occ_limit),
+                          ("agg_retention", agg_retention),
+                          ("agg_limit", agg_limit),
+                          ("participation", participation)):
+            if vec.shape != (n_layers,):
+                raise ConfigurationError(
+                    f"{name} must have shape ({n_layers},), got {vec.shape}"
+                )
+        if dense_stack.ndim != 2:
+            raise ConfigurationError("dense_stack must be a 2-D matrix")
+        if dense_stack.shape[0] + (sparse_offsets.size - 1) != n_layers:
+            raise ConfigurationError(
+                "dense rows + sparse segments must cover every layer"
+            )
+        if block_occurrences <= 0:
+            raise ConfigurationError("block_occurrences must be positive")
+        self.layer_ids = tuple(int(i) for i in layer_ids)
+        self.occ_retention = occ_retention
+        self.occ_limit = occ_limit
+        self.agg_retention = agg_retention
+        self.agg_limit = agg_limit
+        self.participation = participation
+        self.dense_stack = dense_stack
+        self.sparse_ids = sparse_ids
+        self.sparse_values = sparse_values
+        self.sparse_offsets = sparse_offsets
+        self.block_occurrences = int(block_occurrences)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_portfolio(
+        cls,
+        portfolio,
+        dense_max_entries: int = 4_000_000,
+        block_occurrences: int = DEFAULT_BLOCK_OCCURRENCES,
+    ) -> "PortfolioKernel":
+        """Stack a portfolio's per-layer lookups and terms into one kernel.
+
+        Per-layer lookups come from :meth:`Layer.lookup`, so the merge
+        work is shared with every other engine via the layer cache.
+        """
+        layers = list(portfolio)
+        lookups = [
+            layer.lookup(dense_max_entries=dense_max_entries) for layer in layers
+        ]
+        dense = [(l, lk) for l, lk in zip(layers, lookups) if lk.kind == "dense"]
+        sparse = [(l, lk) for l, lk in zip(layers, lookups) if lk.kind == "sparse"]
+        ordered = dense + sparse
+
+        width = max((lk.table_array.size for _, lk in dense), default=0)
+        dense_stack = np.zeros((len(dense), width), dtype=np.float64)
+        for row, (_, lk) in enumerate(dense):
+            table = lk.table_array
+            dense_stack[row, :table.size] = table
+
+        if sparse:
+            sparse_ids = np.concatenate([lk.ids for _, lk in sparse])
+            sparse_values = np.concatenate([lk.values for _, lk in sparse])
+            lengths = [lk.ids.size for _, lk in sparse]
+        else:
+            sparse_ids = np.empty(0, dtype=np.int64)
+            sparse_values = np.empty(0, dtype=np.float64)
+            lengths = []
+        sparse_offsets = np.concatenate(
+            ([0], np.cumsum(lengths, dtype=np.int64))
+        ).astype(np.int64)
+
+        def term_vec(attr: str) -> np.ndarray:
+            return np.array(
+                [getattr(l.terms, attr) for l, _ in ordered], dtype=np.float64
+            )
+
+        return cls(
+            layer_ids=tuple(l.layer_id for l, _ in ordered),
+            occ_retention=term_vec("occ_retention"),
+            occ_limit=term_vec("occ_limit"),
+            agg_retention=term_vec("agg_retention"),
+            agg_limit=term_vec("agg_limit"),
+            participation=term_vec("participation"),
+            dense_stack=dense_stack,
+            sparse_ids=sparse_ids,
+            sparse_values=sparse_values,
+            sparse_offsets=sparse_offsets,
+            block_occurrences=block_occurrences,
+        )
+
+    # -- shape metadata ----------------------------------------------------
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layer_ids)
+
+    @property
+    def n_dense(self) -> int:
+        return self.dense_stack.shape[0]
+
+    @property
+    def n_sparse(self) -> int:
+        return self.sparse_offsets.size - 1
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of lookup state (what a device placement would ship)."""
+        return (self.dense_stack.nbytes + self.sparse_ids.nbytes
+                + self.sparse_values.nbytes)
+
+    def row_of(self, layer_id: int) -> int:
+        """Kernel row holding ``layer_id`` (rows are dense-first)."""
+        try:
+            return self.layer_ids.index(layer_id)
+        except ValueError:
+            raise ConfigurationError(f"no layer {layer_id} in kernel") from None
+
+    # -- gathers -----------------------------------------------------------
+
+    def gather_block(self, event_ids: np.ndarray,
+                     out: np.ndarray | None = None) -> np.ndarray:
+        """Losses for one occurrence block, all layers: ``(L, block)``.
+
+        One clipped index vector is computed per block and shared by every
+        dense layer through a single two-axis ``take``; sparse layers
+        gather via :func:`sparse_gather_into` on their CSR segment.
+        """
+        event_ids = np.asarray(event_ids, dtype=np.int64)
+        if out is None:
+            out = np.empty((self.n_layers, event_ids.size), dtype=np.float64)
+        n_dense = self.n_dense
+        if n_dense:
+            # Row-wise takes beat a two-axis gather: each is a contiguous
+            # write, and the ids slice stays cache-hot across rows.  The
+            # out-of-bounds fixup is skipped entirely in the common case
+            # of ids inside the table.
+            width = self.dense_stack.shape[1]
+            for row in range(n_dense):
+                np.take(self.dense_stack[row], event_ids, mode="clip",
+                        out=out[row])
+            oob = event_ids >= width
+            if oob.any():
+                out[:n_dense][:, oob] = 0.0
+        offsets = self.sparse_offsets
+        for seg in range(self.n_sparse):
+            lo, hi = offsets[seg], offsets[seg + 1]
+            sparse_gather_into(
+                self.sparse_ids[lo:hi], self.sparse_values[lo:hi],
+                event_ids, out[n_dense + seg],
+            )
+        return out
+
+    def gather_layer(self, row: int, event_ids: np.ndarray) -> np.ndarray:
+        """Losses for one kernel row over an id array (YELT emission path)."""
+        event_ids = np.asarray(event_ids, dtype=np.int64)
+        out = np.empty(event_ids.size, dtype=np.float64)
+        if row < self.n_dense:
+            width = self.dense_stack.shape[1]
+            safe = np.clip(event_ids, 0, width - 1)
+            np.take(self.dense_stack[row], safe, out=out)
+            np.multiply(out, event_ids < width, out=out)
+            return out
+        seg = row - self.n_dense
+        lo, hi = self.sparse_offsets[seg], self.sparse_offsets[seg + 1]
+        return sparse_gather_into(
+            self.sparse_ids[lo:hi], self.sparse_values[lo:hi], event_ids, out
+        )
+
+    # -- terms -------------------------------------------------------------
+
+    def apply_occurrence(self, losses: np.ndarray) -> np.ndarray:
+        """Occurrence terms over an ``(L, block)`` loss matrix, in place."""
+        np.subtract(losses, self.occ_retention[:, None], out=losses)
+        np.clip(losses, 0.0, self.occ_limit[:, None], out=losses)
+        return losses
+
+    def occurrence_row(self, row: int, losses: np.ndarray) -> np.ndarray:
+        """Occurrence terms for one kernel row (returns a new array)."""
+        out = losses - self.occ_retention[row]
+        np.clip(out, 0.0, self.occ_limit[row], out=out)
+        return out
+
+    def apply_aggregate(self, annual: np.ndarray) -> np.ndarray:
+        """Aggregate terms + participation over ``(L, n_trials)`` sums."""
+        out = annual - self.agg_retention[:, None]
+        np.clip(out, 0.0, self.agg_limit[:, None], out=out)
+        out *= self.participation[:, None]
+        return out
+
+    # -- the fused sweep ---------------------------------------------------
+
+    def sweep(
+        self,
+        trials: np.ndarray,
+        event_ids: np.ndarray,
+        n_trials: int,
+        *,
+        out: np.ndarray | None = None,
+        block_occurrences: int | None = None,
+    ) -> np.ndarray:
+        """One fused pass: pre-aggregate ``(L, n_trials)`` annual matrix.
+
+        ``out`` (C-contiguous, ``(L, n_trials)``, float64) is accumulated
+        into when given — the out-of-core engine calls sweep once per YET
+        chunk against one running matrix.  Aggregate terms are *not*
+        applied; compose with :meth:`apply_aggregate`.
+        """
+        trials = np.asarray(trials, dtype=np.int64)
+        event_ids = np.asarray(event_ids, dtype=np.int64)
+        if trials.shape != event_ids.shape:
+            raise ConfigurationError("trials and event_ids must be equal-length")
+        n_layers = self.n_layers
+        if out is None:
+            out = np.zeros((n_layers, n_trials), dtype=np.float64)
+        elif (out.shape != (n_layers, n_trials) or out.dtype != np.float64
+              or not out.flags.c_contiguous):
+            raise ConfigurationError(
+                f"out must be C-contiguous float64 of shape ({n_layers}, {n_trials})"
+            )
+        n = event_ids.size
+        if n == 0:
+            return out
+        block = block_occurrences or self.block_occurrences
+        block = min(block, n)
+        loss_buf = np.empty((n_layers, block), dtype=np.float64)
+        # YET rows are sorted by trial, which lets the segment reduction
+        # decode the trial stream once per block for all L layers.
+        # Unsorted streams get a block-local stable sort first, keeping
+        # the reduction O(n log block) without any n_trials-sized
+        # temporaries per block.
+        sorted_trials = bool(np.all(trials[1:] >= trials[:-1]))
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            lanes = loss_buf[:, :stop - start]
+            self.gather_block(event_ids[start:stop], out=lanes)
+            self.apply_occurrence(lanes)
+            tr = trials[start:stop]
+            if not sorted_trials:
+                order = np.argsort(tr, kind="stable")
+                tr = tr[order]
+                lanes = lanes[:, order]
+            # One boundary scan shared by every layer, then a fused
+            # per-segment sum; a trial split across blocks just adds
+            # its partials in order.
+            starts = np.concatenate(
+                ([0], np.flatnonzero(tr[1:] != tr[:-1]) + 1)
+            )
+            sums = np.add.reduceat(lanes, starts, axis=1)
+            out[:, tr[starts]] += sums
+        return out
+
+    def run(
+        self,
+        trials: np.ndarray,
+        event_ids: np.ndarray,
+        n_trials: int,
+        *,
+        block_occurrences: int | None = None,
+    ) -> np.ndarray:
+        """Sweep + aggregate terms: the final ``(L, n_trials)`` YLT matrix."""
+        annual = self.sweep(
+            trials, event_ids, n_trials, block_occurrences=block_occurrences
+        )
+        return self.apply_aggregate(annual)

@@ -32,8 +32,7 @@ class Layer:
         Optional per-ELT participation weights in the merged lookup.
     """
 
-    __slots__ = ("layer_id", "elts", "terms", "weights", "_lookup",
-                 "_lookup_dense_max")
+    __slots__ = ("layer_id", "elts", "terms", "weights", "_lookup_cache")
 
     def __init__(self, layer_id: int, elts, terms: LayerTerms,
                  weights=None) -> None:
@@ -55,8 +54,7 @@ class Layer:
         self.elts = elts
         self.terms = terms
         self.weights = weights
-        self._lookup: LossLookup | None = None
-        self._lookup_dense_max: int | None = None
+        self._lookup_cache: dict[int, LossLookup] = {}
 
     @property
     def n_elts(self) -> int:
@@ -68,18 +66,23 @@ class Layer:
         return sum(e.n_events for e in self.elts)
 
     def lookup(self, dense_max_entries: int = 4_000_000) -> LossLookup:
-        """Merged event-loss lookup (cached per ``dense_max_entries``)."""
-        if self._lookup is None or self._lookup_dense_max != dense_max_entries:
-            self._lookup = LossLookup.from_elts(
+        """Merged event-loss lookup, cached per ``dense_max_entries``.
+
+        The cache is a small dict so engines configured with different
+        dense thresholds can alternate over the same layer without
+        rebuilding the merge each call.
+        """
+        cached = self._lookup_cache.get(dense_max_entries)
+        if cached is None:
+            cached = LossLookup.from_elts(
                 self.elts, weights=self.weights, dense_max_entries=dense_max_entries
             )
-            self._lookup_dense_max = dense_max_entries
-        return self._lookup
+            self._lookup_cache[dense_max_entries] = cached
+        return cached
 
     def invalidate_lookup(self) -> None:
-        """Drop the cached lookup (after mutating an ELT in place)."""
-        self._lookup = None
-        self._lookup_dense_max = None
+        """Drop all cached lookups (after mutating an ELT in place)."""
+        self._lookup_cache.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -20,7 +20,32 @@ import numpy as np
 from repro.core.tables import EltTable
 from repro.errors import ConfigurationError
 
-__all__ = ["LossLookup"]
+__all__ = ["LossLookup", "dense_gather_into", "sparse_gather_into"]
+
+
+def dense_gather_into(table: np.ndarray, event_ids: np.ndarray,
+                      out: np.ndarray) -> np.ndarray:
+    """Gather ``table[event_ids]`` into ``out`` with no float temporaries.
+
+    Ids at or beyond the table end are unknown events and gather 0; the
+    only intermediate is the boolean in-bounds mask.  ``out`` may be any
+    float64 buffer of the ids' shape (including a row view of a larger
+    block matrix), which is what lets the fused portfolio sweep reuse one
+    preallocated block buffer across the whole run.
+    """
+    np.take(table, event_ids, mode="clip", out=out)
+    np.multiply(out, event_ids < table.size, out=out)
+    return out
+
+
+def sparse_gather_into(ids: np.ndarray, values: np.ndarray,
+                       event_ids: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Gather from a sorted (ids, values) pair into ``out``; misses are 0."""
+    pos = np.searchsorted(ids, event_ids)
+    np.minimum(pos, ids.size - 1, out=pos)
+    np.take(values, pos, out=out)
+    np.multiply(out, ids[pos] == event_ids, out=out)
+    return out
 
 
 class LossLookup:
@@ -97,19 +122,26 @@ class LossLookup:
     # -- access ----------------------------------------------------------------
 
     def __call__(self, event_ids: np.ndarray) -> np.ndarray:
-        """Vectorised lookup; unknown ids map to loss 0."""
+        """Vectorised lookup; unknown ids map to loss 0.
+
+        Allocates exactly one array (the result); see :meth:`gather_into`
+        for the zero-allocation variant over a caller-owned buffer.
+        """
+        event_ids = np.asarray(event_ids, dtype=np.int64)
+        out = np.empty(event_ids.shape, dtype=np.float64)
+        return self.gather_into(event_ids, out)
+
+    def gather_into(self, event_ids: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Gather losses for ``event_ids`` into the preallocated ``out``.
+
+        ``out`` must be float64 with the ids' shape; it is returned.  The
+        fused portfolio sweep calls this once per occurrence block per
+        sparse layer, reusing one block buffer for the whole run.
+        """
         event_ids = np.asarray(event_ids, dtype=np.int64)
         if self.kind == "dense":
-            dense = self._dense
-            clipped = np.clip(event_ids, 0, dense.size - 1)
-            out = dense[clipped]
-            # ids beyond the table are unknown events -> 0
-            out = np.where(event_ids < dense.size, out, 0.0)
-            return out
-        pos = np.searchsorted(self._ids, event_ids)
-        pos_clipped = np.minimum(pos, self._ids.size - 1)
-        hit = self._ids[pos_clipped] == event_ids
-        return np.where(hit, self._values[pos_clipped], 0.0)
+            return dense_gather_into(self._dense, event_ids, out)
+        return sparse_gather_into(self._ids, self._values, event_ids, out)
 
     def get_scalar(self, event_id: int) -> float:
         """Scalar lookup (sequential-engine oracle path)."""

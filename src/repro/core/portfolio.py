@@ -19,7 +19,7 @@ __all__ = ["Portfolio"]
 class Portfolio:
     """An ordered, id-unique collection of reinsurance layers."""
 
-    __slots__ = ("layers",)
+    __slots__ = ("layers", "_kernel_cache")
 
     def __init__(self, layers) -> None:
         layers = tuple(layers)
@@ -32,6 +32,7 @@ class Portfolio:
         if len(set(ids)) != len(ids):
             raise ConfigurationError(f"duplicate layer ids: {ids}")
         self.layers = layers
+        self._kernel_cache: dict[int, object] = {}
 
     @property
     def n_layers(self) -> int:
@@ -48,6 +49,40 @@ class Portfolio:
     @property
     def n_elt_rows(self) -> int:
         return sum(l.n_events for l in self.layers)
+
+    def kernel(self, dense_max_entries: int = 4_000_000):
+        """The fused :class:`~repro.core.kernels.PortfolioKernel`.
+
+        Precomputed once per ``dense_max_entries`` (a small dict, like the
+        per-layer lookup cache) so repeated engine runs over the same
+        portfolio skip the stacking work.  Each cache entry remembers the
+        per-layer lookups it was stacked from, so the documented
+        :meth:`Layer.invalidate_lookup` mutation flow transparently
+        rebuilds the kernel on next use instead of serving stale arrays.
+        """
+        lookups = tuple(
+            layer.lookup(dense_max_entries=dense_max_entries)
+            for layer in self.layers
+        )
+        entry = self._kernel_cache.get(dense_max_entries)
+        if entry is not None:
+            kernel, built_from = entry
+            if all(a is b for a, b in zip(lookups, built_from)):
+                return kernel
+        from repro.core.kernels import PortfolioKernel
+
+        kernel = PortfolioKernel.from_portfolio(
+            self, dense_max_entries=dense_max_entries
+        )
+        self._kernel_cache[dense_max_entries] = (kernel, lookups)
+        return kernel
+
+    def invalidate_kernels(self) -> None:
+        """Drop cached kernels and per-layer lookups (after mutating a
+        layer's ELTs in place; equivalent to invalidating every layer)."""
+        self._kernel_cache.clear()
+        for layer in self.layers:
+            layer.invalidate_lookup()
 
     def layer(self, layer_id: int) -> Layer:
         for l in self.layers:

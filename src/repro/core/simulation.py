@@ -88,11 +88,19 @@ class AggregateAnalysis:
         ``"distributed"``) or a pre-built :class:`Engine` instance;
         ``engine_kwargs`` are passed to the registry constructor.
         """
-        if isinstance(engine, str):
+        owned = isinstance(engine, str)
+        if owned:
             engine = get_engine(engine, **engine_kwargs)
         elif engine_kwargs:
             raise EngineError("engine_kwargs only apply when engine is a name")
-        res = engine.run(self.portfolio, self.yet, emit_yelt=emit_yelt)
+        try:
+            res = engine.run(self.portfolio, self.yet, emit_yelt=emit_yelt)
+        finally:
+            # Engines constructed here are also torn down here (worker
+            # pools and the like); caller-provided instances keep their
+            # resources for reuse and close themselves.
+            if owned and hasattr(engine, "close"):
+                engine.close()
         return AnalysisResult.from_engine(res)
 
     def run_all(self, names: list[str] | None = None) -> dict[str, AnalysisResult]:

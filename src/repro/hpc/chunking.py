@@ -71,6 +71,11 @@ class ChunkPlanner:
         self.properties = properties
         self.global_budget_fraction = global_budget_fraction
 
+    @property
+    def budget_bytes(self) -> int:
+        """Global-memory bytes the plan may occupy."""
+        return int(self.properties.global_mem_bytes * self.global_budget_fraction)
+
     def plan(
         self,
         n_rows: int,
@@ -78,11 +83,16 @@ class ChunkPlanner:
         lookup_bytes: int,
         shared_bytes_per_row: int = 8,
         max_rows_per_chunk: int | None = None,
+        resident_bytes: int = 0,
     ) -> DeviceChunkPlan:
         """Plan streaming ``n_rows`` of ``row_bytes`` each with a lookup table.
 
         ``shared_bytes_per_row`` is the per-row shared-memory need of the
         kernel (e.g. one f8 accumulator per in-flight trial).
+        ``resident_bytes`` is unconditionally global-resident state beside
+        the streamed rows (output accumulators, lookups the caller has
+        already decided to spill) — unlike ``lookup_bytes``, it is never
+        assumed to fit constant memory.
         """
         if n_rows < 0:
             raise ConfigurationError(f"n_rows must be non-negative, got {n_rows}")
@@ -90,14 +100,18 @@ class ChunkPlanner:
             raise ConfigurationError(f"row_bytes must be positive, got {row_bytes}")
         if lookup_bytes < 0:
             raise ConfigurationError(f"lookup_bytes must be non-negative, got {lookup_bytes}")
+        if resident_bytes < 0:
+            raise ConfigurationError(f"resident_bytes must be non-negative, got {resident_bytes}")
 
-        budget = int(self.properties.global_mem_bytes * self.global_budget_fraction)
+        budget = self.budget_bytes
         lookup_in_constant = lookup_bytes <= self.properties.constant_mem_bytes
-        global_for_rows = budget - (0 if lookup_in_constant else lookup_bytes)
+        global_for_rows = (budget - resident_bytes
+                           - (0 if lookup_in_constant else lookup_bytes))
         if global_for_rows < row_bytes:
             raise CapacityError(
                 f"device global budget {budget} B cannot hold lookup "
-                f"({lookup_bytes} B) plus one {row_bytes} B row"
+                f"({lookup_bytes} B) plus resident state ({resident_bytes} B) "
+                f"plus one {row_bytes} B row"
             )
         rows_per_chunk = global_for_rows // row_bytes
         if max_rows_per_chunk is not None:
@@ -119,7 +133,8 @@ class ChunkPlanner:
             )
 
         n_chunks = 0 if n_rows == 0 else -(-n_rows // rows_per_chunk)
-        resident = rows_per_chunk * row_bytes + (0 if lookup_in_constant else lookup_bytes)
+        resident = (rows_per_chunk * row_bytes + resident_bytes
+                    + (0 if lookup_in_constant else lookup_bytes))
         return DeviceChunkPlan(
             rows_per_chunk=rows_per_chunk,
             n_chunks=n_chunks,

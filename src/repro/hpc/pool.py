@@ -4,6 +4,12 @@ The multicore engine and the MapReduce runtime can execute tasks through
 this wrapper.  On single-core or fork-restricted hosts the pool degrades
 to serial execution with identical results — parallelism in this library
 never changes answers, only wall time.
+
+Worker processes are spawned lazily on first parallel use and reused
+across calls; :meth:`WorkPool.close` (or the context manager) is the
+shutdown path.  :meth:`WorkPool.starmap_shared` ships one large shared
+object (e.g. a stacked portfolio kernel) to each worker exactly once per
+call via the pool initializer instead of re-pickling it per task.
 """
 
 from __future__ import annotations
@@ -23,6 +29,19 @@ def available_parallelism() -> int:
         return max(1, os.cpu_count() or 1)
 
 
+#: Per-worker slot for the object shipped by :meth:`WorkPool.starmap_shared`.
+_SHARED = None
+
+
+def _install_shared(value) -> None:
+    global _SHARED
+    _SHARED = value
+
+
+def _call_shared(fn: Callable, *args):
+    return fn(_SHARED, *args)
+
+
 class WorkPool:
     """Map tasks over workers; serial when ``n_workers <= 1``.
 
@@ -34,25 +53,94 @@ class WorkPool:
     Notes
     -----
     Tasks must be picklable top-level callables when ``n_workers > 1``.
+    The process pool is created lazily on the first parallel call and
+    reused until :meth:`close`; ``with WorkPool(...) as pool:`` closes it
+    on exit.
     """
 
     def __init__(self, n_workers: int | None = None) -> None:
         self.n_workers = n_workers if n_workers is not None else available_parallelism()
         if self.n_workers < 1:
             self.n_workers = 1
+        self._executor: ProcessPoolExecutor | None = None
+        #: The object the current executor's workers were initialised
+        #: with (via :meth:`starmap_shared`); ``None`` = no initializer.
+        self._shared: object | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _executor_handle(self, shared=None) -> ProcessPoolExecutor:
+        """The persistent executor, (re)built lazily.
+
+        A plain call reuses whatever executor exists (workers ignore an
+        installed shared object).  A call with ``shared`` requires the
+        workers to have been initialised with *that* object; if the live
+        executor was built without it (or with a different one), the
+        executor is cycled.  Repeat runs with the same shared object —
+        the cached portfolio kernel — therefore ship it zero times.
+
+        A broken executor (a worker died mid-task) is also cycled, so a
+        lost worker costs one call, not the pool's lifetime — matching
+        the old per-call executors' recovery behaviour.
+        """
+        if self._executor is not None and (
+            getattr(self._executor, "_broken", False)
+            or (shared is not None and self._shared is not shared)
+        ):
+            self.close()
+        if self._executor is None:
+            self._shared = shared
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=_install_shared if shared is not None else None,
+                initargs=(shared,) if shared is not None else (),
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down worker processes (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._shared = None
+
+    def __enter__(self) -> "WorkPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- mapping -----------------------------------------------------------
 
     def map(self, fn: Callable, items: Sequence) -> list:
         """Apply ``fn`` to each item, preserving order."""
         if self.n_workers == 1 or len(items) <= 1:
             return [fn(item) for item in items]
-        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-            return list(pool.map(fn, items))
+        return list(self._executor_handle().map(fn, items))
 
     def starmap(self, fn: Callable, arg_tuples: Iterable[tuple]) -> list:
         """Apply ``fn(*args)`` per tuple, preserving order."""
         tuples = list(arg_tuples)
         if self.n_workers == 1 or len(tuples) <= 1:
             return [fn(*args) for args in tuples]
-        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-            futures = [pool.submit(fn, *args) for args in tuples]
-            return [f.result() for f in futures]
+        pool = self._executor_handle()
+        futures = [pool.submit(fn, *args) for args in tuples]
+        return [f.result() for f in futures]
+
+    def starmap_shared(self, fn: Callable, shared,
+                       arg_tuples: Iterable[tuple]) -> list:
+        """Apply ``fn(shared, *args)`` per tuple, preserving order.
+
+        ``shared`` is delivered to each worker once through the pool
+        initializer — not serialised per task — which is the right
+        transport for a large read-only object fanned out over many small
+        tasks (the multicore engine ships its stacked portfolio kernel
+        this way: once per run at most, and zero times on repeat runs
+        with the same cached kernel).
+        """
+        tuples = list(arg_tuples)
+        if self.n_workers == 1 or len(tuples) <= 1:
+            return [fn(shared, *args) for args in tuples]
+        pool = self._executor_handle(shared=shared)
+        futures = [pool.submit(_call_shared, fn, *args) for args in tuples]
+        return [f.result() for f in futures]

@@ -195,6 +195,22 @@ class TestDeviceEngine:
         lid = tiny_workload.portfolio.layers[0].layer_id
         assert res.details["layers"][lid]["lookup_kind"] == "sparse"
 
+    def test_portfolio_too_big_to_coreside_splits_into_batches(
+            self, small_portfolio_workload):
+        """A global space that cannot host all layers at once must fall
+        back to multiple resident batches, not fail mid-upload."""
+        pf, yet = (small_portfolio_workload.portfolio,
+                   small_portfolio_workload.yet)
+        lookup_bytes = pf.layers[0].lookup().nbytes
+        # Room for roughly one layer's lookup + annual + a small chunk.
+        gpu = SimulatedGpu(DeviceProperties(
+            global_mem_bytes=3 * (lookup_bytes + yet.n_trials * 8)
+        ))
+        res = DeviceEngine(gpu=gpu).run(pf, yet)
+        assert res.details["n_batches"] > 1
+        ref = VectorizedEngine().run(pf, yet)
+        assert res.portfolio_ylt.allclose(ref.portfolio_ylt)
+
 
 class TestMulticore:
     @pytest.mark.parametrize("n_workers", [1, 2, 5])
@@ -221,6 +237,31 @@ class TestMulticore:
         with pytest.raises(EngineError):
             MulticoreEngine().run(tiny_workload.portfolio, tiny_workload.yet,
                                   emit_yelt=True)
+
+    def test_pool_is_lazy(self):
+        """Constructing the engine must not spawn a pool."""
+        engine = MulticoreEngine(n_workers=4)
+        assert engine._pool is None
+        assert engine.pool.n_workers == 4
+        assert engine._pool is not None
+        engine.close()
+
+    def test_close_idempotent_and_reusable(self, tiny_workload):
+        engine = MulticoreEngine(n_workers=2)
+        res = engine.run(tiny_workload.portfolio, tiny_workload.yet)
+        engine.close()
+        engine.close()  # idempotent
+        assert engine._pool is None
+        # The engine stays usable: a fresh pool is built on demand.
+        again = engine.run(tiny_workload.portfolio, tiny_workload.yet)
+        assert res.portfolio_ylt.allclose(again.portfolio_ylt)
+        engine.close()
+
+    def test_context_manager_closes(self, tiny_workload):
+        with MulticoreEngine(n_workers=2) as engine:
+            engine.run(tiny_workload.portfolio, tiny_workload.yet)
+            assert engine._pool is not None
+        assert engine._pool is None
 
 
 class TestMapReduceEngine:

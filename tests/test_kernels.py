@@ -1,0 +1,245 @@
+"""Parity and structure tests for the fused portfolio kernel.
+
+The contract: one fused sweep over the YET must reproduce the
+``SequentialEngine`` oracle's YLTs for every layer, across lookup
+layouts (dense, sparse, mixed), degenerate terms, empty trials, and
+randomised portfolios (Hypothesis).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engines import SequentialEngine
+from repro.core.kernels import DEFAULT_BLOCK_OCCURRENCES, PortfolioKernel
+from repro.core.layer import Layer
+from repro.core.portfolio import Portfolio
+from repro.core.tables import YET_SCHEMA, EltTable, YetTable
+from repro.core.terms import LayerTerms
+from repro.data.columnar import ColumnTable
+from repro.errors import ConfigurationError
+
+RTOL, ATOL = 1e-9, 1e-6
+
+
+def assert_kernel_matches_oracle(portfolio, yet, dense_max_entries=4_000_000,
+                                 block_occurrences=None):
+    kernel = PortfolioKernel.from_portfolio(
+        portfolio, dense_max_entries=dense_max_entries
+    )
+    final = kernel.run(yet.trials, yet.event_ids, yet.n_trials,
+                       block_occurrences=block_occurrences)
+    oracle = SequentialEngine().run(portfolio, yet)
+    for row, lid in enumerate(kernel.layer_ids):
+        np.testing.assert_allclose(
+            final[row], oracle.ylt_by_layer[lid].losses, rtol=RTOL, atol=ATOL,
+            err_msg=f"layer {lid} (kernel row {row}) diverged from oracle",
+        )
+    return kernel
+
+
+def make_yet(trials, event_ids, n_trials):
+    trials = np.asarray(trials, dtype=np.int64)
+    table = ColumnTable.from_arrays(
+        YET_SCHEMA,
+        trial=trials,
+        seq=np.zeros(trials.size, dtype=np.int32),
+        event_id=np.asarray(event_ids, dtype=np.int64),
+    )
+    return YetTable(table, n_trials)
+
+
+class TestParityAgainstOracle:
+    def test_dense_portfolio(self, small_portfolio_workload):
+        k = assert_kernel_matches_oracle(
+            small_portfolio_workload.portfolio, small_portfolio_workload.yet
+        )
+        assert k.n_dense == k.n_layers and k.n_sparse == 0
+
+    def test_sparse_portfolio(self, small_portfolio_workload):
+        k = assert_kernel_matches_oracle(
+            small_portfolio_workload.portfolio, small_portfolio_workload.yet,
+            dense_max_entries=1,
+        )
+        assert k.n_sparse == k.n_layers and k.n_dense == 0
+
+    def test_mixed_dense_and_sparse_layers(self):
+        """One compact-id layer (dense) + one huge-id layer (sparse)."""
+        compact = EltTable.from_arrays([1, 2, 3], [100.0, 200.0, 300.0])
+        huge = EltTable.from_arrays([2, 10**9], [50.0, 75.0], contract_id=1)
+        pf = Portfolio([
+            Layer(0, [compact], LayerTerms(occ_retention=20.0)),
+            Layer(7, [huge], LayerTerms(occ_limit=60.0)),
+        ])
+        yet = make_yet([0, 0, 1, 2, 2], [1, 2, 10**9, 3, 5], n_trials=4)
+        k = assert_kernel_matches_oracle(pf, yet)
+        assert k.n_dense == 1 and k.n_sparse == 1
+        # Rows are dense-first; ids map back through layer_ids/row_of.
+        assert k.layer_ids == (0, 7)
+        assert k.row_of(7) == 1
+
+    @pytest.mark.parametrize("terms", [
+        LayerTerms(),                                          # pass-through
+        LayerTerms(occ_retention=0.0, occ_limit=np.inf),       # degenerate: none bind
+        LayerTerms(occ_retention=1e12),                        # nothing attaches
+        LayerTerms(occ_limit=1.0),                             # everything capped
+        LayerTerms(agg_retention=1e15),                        # aggregate wipes out
+        LayerTerms(agg_limit=10.0),                            # tiny annual cap
+        LayerTerms(participation=0.1),
+        LayerTerms(occ_retention=5e5, occ_limit=2e6,
+                   agg_retention=1e6, agg_limit=1e8, participation=0.5),
+    ])
+    @pytest.mark.parametrize("dense_max", [4_000_000, 1])
+    def test_degenerate_terms(self, tiny_workload, terms, dense_max):
+        layer = Layer(0, tiny_workload.portfolio.layers[0].elts, terms)
+        assert_kernel_matches_oracle(
+            Portfolio([layer]), tiny_workload.yet, dense_max_entries=dense_max
+        )
+
+    def test_empty_trials_stay_zero(self):
+        """A YET with occurrence-free trials (including an all-empty YET)."""
+        elt = EltTable.from_arrays([1, 2], [100.0, 200.0])
+        pf = Portfolio([Layer(0, [elt], LayerTerms())])
+        sparse_yet = make_yet([1, 1, 3], [1, 2, 1], n_trials=5)
+        assert_kernel_matches_oracle(pf, sparse_yet)
+
+        empty_yet = make_yet([], [], n_trials=4)
+        kernel = pf.kernel()
+        out = kernel.run(empty_yet.trials, empty_yet.event_ids, 4)
+        assert out.shape == (1, 4)
+        np.testing.assert_array_equal(out, 0.0)
+
+    @pytest.mark.parametrize("block", [1, 7, 64, DEFAULT_BLOCK_OCCURRENCES])
+    def test_block_size_does_not_change_results(self, tiny_workload, block):
+        assert_kernel_matches_oracle(
+            tiny_workload.portfolio, tiny_workload.yet, block_occurrences=block
+        )
+
+
+class TestKernelStructure:
+    def test_chunked_accumulation_matches_single_sweep(self, tiny_workload):
+        """The out-of-core pattern: sweep per chunk into one matrix."""
+        kernel = tiny_workload.portfolio.kernel()
+        yet = tiny_workload.yet
+        whole = kernel.sweep(yet.trials, yet.event_ids, yet.n_trials)
+        acc = np.zeros_like(whole)
+        for start in range(0, yet.n_occurrences, 97):
+            stop = min(start + 97, yet.n_occurrences)
+            kernel.sweep(yet.trials[start:stop], yet.event_ids[start:stop],
+                         yet.n_trials, out=acc)
+        np.testing.assert_allclose(acc, whole, rtol=1e-12)
+
+    def test_unsorted_trials_fall_back_to_block_sort(self, tiny_workload):
+        """sweep() accepts unsorted (trial, event) streams — the shuffled
+        stream must produce the same annual matrix as the sorted one."""
+        kernel = tiny_workload.portfolio.kernel()
+        yet = tiny_workload.yet
+        ref = kernel.sweep(yet.trials, yet.event_ids, yet.n_trials)
+        rng = np.random.default_rng(5)
+        perm = rng.permutation(yet.n_occurrences)
+        shuffled = kernel.sweep(yet.trials[perm], yet.event_ids[perm],
+                                yet.n_trials)
+        np.testing.assert_allclose(shuffled, ref, rtol=RTOL, atol=ATOL)
+
+    def test_kernel_pickles_whole(self, small_portfolio_workload):
+        """The multicore transport: one pickle ships the whole kernel."""
+        kernel = small_portfolio_workload.portfolio.kernel()
+        clone = pickle.loads(pickle.dumps(kernel))
+        yet = small_portfolio_workload.yet
+        np.testing.assert_array_equal(
+            clone.run(yet.trials, yet.event_ids, yet.n_trials),
+            kernel.run(yet.trials, yet.event_ids, yet.n_trials),
+        )
+
+    def test_gather_block_shares_one_pass(self, tiny_workload):
+        kernel = tiny_workload.portfolio.kernel()
+        ev = tiny_workload.yet.event_ids[:50]
+        block = kernel.gather_block(ev)
+        assert block.shape == (kernel.n_layers, 50)
+        for row in range(kernel.n_layers):
+            np.testing.assert_array_equal(block[row], kernel.gather_layer(row, ev))
+
+    def test_gather_layer_matches_loss_lookup(self, tiny_workload):
+        layer = tiny_workload.portfolio.layers[0]
+        kernel = tiny_workload.portfolio.kernel()
+        ev = tiny_workload.yet.event_ids
+        np.testing.assert_array_equal(
+            kernel.gather_layer(kernel.row_of(layer.layer_id), ev),
+            layer.lookup()(ev),
+        )
+
+    def test_unknown_layer_rejected(self, tiny_workload):
+        with pytest.raises(ConfigurationError):
+            tiny_workload.portfolio.kernel().row_of(999)
+
+    def test_mismatched_out_rejected(self, tiny_workload):
+        kernel = tiny_workload.portfolio.kernel()
+        yet = tiny_workload.yet
+        with pytest.raises(ConfigurationError):
+            kernel.sweep(yet.trials, yet.event_ids, yet.n_trials,
+                         out=np.zeros((kernel.n_layers, yet.n_trials + 1)))
+
+    def test_mismatched_arrays_rejected(self, tiny_workload):
+        kernel = tiny_workload.portfolio.kernel()
+        with pytest.raises(ConfigurationError):
+            kernel.sweep(np.array([0, 1]), np.array([5]), 4)
+
+
+@st.composite
+def random_portfolio(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    n_trials = draw(st.integers(1, 50))
+    catalog_events = draw(st.integers(2, 60))
+    epk = draw(st.floats(0.1, 10.0))
+    n_layers = draw(st.integers(1, 4))
+    # Per-layer dense/sparse layout is driven by a huge outlier id.
+    layers = []
+    for li in range(n_layers):
+        elt_rows = draw(st.integers(1, catalog_events))
+        ids = rng.choice(catalog_events, size=elt_rows, replace=False)
+        ids.sort()
+        losses = rng.lognormal(10, 1.5, elt_rows)
+        if draw(st.booleans()):
+            ids = np.append(ids, 10**8 + li)  # force this layer sparse
+            losses = np.append(losses, float(rng.lognormal(10, 1.5)))
+        terms = LayerTerms(
+            occ_retention=draw(st.floats(0.0, 1e5)),
+            occ_limit=draw(st.one_of(st.just(np.inf), st.floats(1e3, 1e6))),
+            agg_retention=draw(st.floats(0.0, 1e6)),
+            agg_limit=draw(st.one_of(st.just(np.inf), st.floats(1e3, 1e8))),
+            participation=draw(st.floats(0.05, 1.0)),
+        )
+        layers.append(Layer(li, [EltTable.from_arrays(ids, losses,
+                                                      contract_id=li)], terms))
+    yet = YetTable.simulate(
+        np.arange(catalog_events, dtype=np.int64),
+        np.full(catalog_events, 1.0),
+        n_trials,
+        rng,
+        mean_events_per_trial=epk,
+    )
+    return Portfolio(layers), yet
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(wl=random_portfolio())
+def test_fused_kernel_matches_oracle_on_random_portfolios(wl):
+    portfolio, yet = wl
+    assert_kernel_matches_oracle(portfolio, yet)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(wl=random_portfolio(), block=st.integers(1, 64))
+def test_fused_kernel_block_invariance_on_random_portfolios(wl, block):
+    portfolio, yet = wl
+    kernel = portfolio.kernel()
+    ref = kernel.run(yet.trials, yet.event_ids, yet.n_trials)
+    alt = kernel.run(yet.trials, yet.event_ids, yet.n_trials,
+                     block_occurrences=block)
+    np.testing.assert_allclose(alt, ref, rtol=RTOL, atol=ATOL)

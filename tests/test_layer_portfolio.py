@@ -36,6 +36,20 @@ class TestLayer:
         layer.invalidate_lookup()
         assert layer.lookup() is not first
 
+    def test_lookup_cache_not_thrashed_by_alternating_settings(self):
+        """Two engines with different dense thresholds share one layer:
+        alternating requests must hit the per-setting cache, not rebuild."""
+        layer = Layer(0, [elt([1, 900], [1.0, 2.0])], LayerTerms())
+        dense = layer.lookup(dense_max_entries=4_000_000)
+        sparse = layer.lookup(dense_max_entries=10)
+        assert dense.kind == "dense" and sparse.kind == "sparse"
+        # Alternation returns the identical cached objects every time.
+        for _ in range(3):
+            assert layer.lookup(dense_max_entries=4_000_000) is dense
+            assert layer.lookup(dense_max_entries=10) is sparse
+        layer.invalidate_lookup()
+        assert layer.lookup(dense_max_entries=10) is not sparse
+
     def test_weights(self):
         layer = Layer(0, [elt([1], [10.0])], LayerTerms(), weights=[0.5])
         assert layer.lookup().get_scalar(1) == 5.0
@@ -94,3 +108,31 @@ class TestPortfolio:
     def test_non_layer_rejected(self):
         with pytest.raises(ConfigurationError):
             Portfolio(["nope"])
+
+    def test_kernel_cached_per_setting(self):
+        pf = Portfolio(self.make_layers(2))
+        k_big = pf.kernel(dense_max_entries=4_000_000)
+        k_tiny = pf.kernel(dense_max_entries=1)
+        assert pf.kernel(dense_max_entries=4_000_000) is k_big
+        assert pf.kernel(dense_max_entries=1) is k_tiny
+        assert k_big.n_dense == 2 and k_tiny.n_sparse == 2
+
+    def test_invalidate_kernels(self):
+        pf = Portfolio(self.make_layers(2))
+        first = pf.kernel()
+        first_lookup = pf.layers[0].lookup()
+        pf.invalidate_kernels()
+        assert pf.kernel() is not first
+        assert pf.layers[0].lookup() is not first_lookup
+
+    def test_layer_invalidation_rebuilds_kernel(self):
+        """The documented ELT-mutation flow — layer.invalidate_lookup() —
+        must not leave engines serving a stale fused kernel."""
+        pf = Portfolio(self.make_layers(2))
+        stale = pf.kernel()
+        # Mutate layer 0's ELT loss in place, then invalidate as documented.
+        pf.layers[0].elts[0].table["mean_loss"][0] = 123.0
+        pf.layers[0].invalidate_lookup()
+        fresh = pf.kernel()
+        assert fresh is not stale
+        assert fresh.gather_layer(fresh.row_of(0), np.array([1]))[0] == 123.0

@@ -36,6 +36,31 @@ class TestAggregateAnalysis:
         results = analysis.run_all(["sequential", "vectorized"])
         assert set(results) == {"sequential", "vectorized"}
 
+    def test_run_closes_engines_it_constructs(self, tiny_workload, monkeypatch):
+        """Registry-constructed engines (worker pools and the like) must be
+        torn down by run(); caller-provided instances must be left open."""
+        from repro.core import simulation as sim
+        from repro.core.engines import MulticoreEngine
+
+        closed = []
+        real = sim.get_engine
+
+        def tracking(name, **kwargs):
+            engine = real(name, **kwargs)
+            orig = engine.close
+            engine.close = lambda: (closed.append(name), orig())
+            return engine
+
+        monkeypatch.setattr(sim, "get_engine", tracking)
+        analysis = AggregateAnalysis(tiny_workload.portfolio, tiny_workload.yet)
+        analysis.run("multicore")
+        assert closed == ["multicore"]
+
+        mine = MulticoreEngine(n_workers=1)
+        analysis.run(mine)
+        assert closed == ["multicore"]  # caller-owned engine untouched
+        mine.close()
+
     def test_expected_annual_loss_positive(self, tiny_workload):
         res = AggregateAnalysis(tiny_workload.portfolio, tiny_workload.yet).run()
         assert res.expected_annual_loss() > 0

@@ -156,3 +156,38 @@ class TestLossLookup:
     def test_nbytes_positive(self):
         lk = LossLookup.from_arrays([0, 100], [1.0, 2.0])
         assert lk.nbytes == 101 * 8  # dense table
+
+
+class TestGatherInto:
+    @pytest.mark.parametrize("dense_max", [10**6, 1])
+    def test_matches_call(self, dense_max):
+        rng = np.random.default_rng(3)
+        ids = np.sort(rng.choice(5_000, 300, replace=False))
+        lk = LossLookup.from_arrays(ids, rng.random(300),
+                                    dense_max_entries=dense_max)
+        queries = rng.integers(0, 7_000, 1_000)
+        out = np.empty(queries.size, dtype=np.float64)
+        result = lk.gather_into(queries, out)
+        assert result is out
+        np.testing.assert_array_equal(out, lk(queries))
+
+    @pytest.mark.parametrize("dense_max", [10**6, 1])
+    def test_buffer_reused_across_blocks(self, dense_max):
+        """The fused sweep's pattern: one buffer, many gather calls."""
+        lk = LossLookup.from_arrays([2, 5], [10.0, 20.0],
+                                    dense_max_entries=dense_max)
+        buf = np.full(3, -1.0)
+        lk.gather_into(np.array([5, 9, 2]), buf)
+        np.testing.assert_allclose(buf, [20.0, 0.0, 10.0])
+        lk.gather_into(np.array([2, 2, 7]), buf)
+        np.testing.assert_allclose(buf, [10.0, 10.0, 0.0])
+
+    @pytest.mark.parametrize("dense_max", [10**6, 1])
+    def test_row_view_of_matrix_as_out(self, dense_max):
+        """gather_into must accept row views of an (L, block) matrix."""
+        lk = LossLookup.from_arrays([1, 3], [1.0, 3.0],
+                                    dense_max_entries=dense_max)
+        block = np.zeros((2, 4))
+        lk.gather_into(np.array([3, 1, 0, 3]), block[1])
+        np.testing.assert_allclose(block[0], 0.0)
+        np.testing.assert_allclose(block[1], [3.0, 1.0, 0.0, 3.0])
