@@ -12,6 +12,7 @@ import pytest
 
 from repro.core.simulation import AggregateAnalysis
 from repro.dfa.pricing import RealTimePricer
+from repro.serve import CachePolicy
 
 
 @pytest.fixture(scope="module")
@@ -26,8 +27,12 @@ def test_typical_contract_50k_trials(benchmark, analysis, contract_50k):
 
 
 def test_realtime_quote_latency(benchmark, contract_50k):
-    """A full pricing quote (simulation + premium derivation)."""
-    pricer = RealTimePricer(contract_50k.yet)
+    """A full pricing quote (simulation + premium derivation).
+
+    The result cache is disabled: pytest-benchmark re-quotes one layer,
+    and a cache hit would measure a dict lookup instead of pricing.
+    """
+    pricer = RealTimePricer(contract_50k.yet, cache=CachePolicy(0))
     layer = contract_50k.portfolio.layers[0]
     quote = benchmark(lambda: pricer.quote(layer))
     assert quote.premium > 0

@@ -1,12 +1,18 @@
-"""Tier-2 perf entry point: run the fused-vs-per-layer bench, write JSON.
+"""Tier-2 perf entry point: run the trajectory benches, write JSON.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_tier2.py [--full] [--out PATH]
+    PYTHONPATH=src python benchmarks/run_tier2.py [--full] [--out-dir DIR]
 
-The default (small) sizes finish in a few seconds so every PR can
-refresh ``BENCH_e13.json`` and compare against the committed trajectory;
-``--full`` runs the paper-shaped sizes from ``bench_e13_fused_portfolio``.
+Two trajectory records are refreshed:
+
+- ``BENCH_e13.json`` — the fused portfolio kernel vs the per-layer path;
+- ``BENCH_e14.json`` — the serving layer's micro-batched pricing vs one
+  sweep per request.
+
+The default (small) sizes finish in seconds so every PR can refresh the
+trajectory and compare against the committed records; ``--full`` runs
+the paper-shaped sizes from the bench modules.
 """
 
 from __future__ import annotations
@@ -17,11 +23,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from bench_e13_fused_portfolio import LAYER_COUNTS, measure, write_json
+import bench_e13_fused_portfolio as e13
+import bench_e14_serving as e14
 
 #: Reduced shape for the per-PR tier-2 run: same layer counts, ~8x fewer
 #: occurrences, so the trajectory stays comparable but cheap.
-SMALL_SHAPE = dict(
+SMALL_SHAPE_E13 = dict(
     n_trials=500,
     mean_events_per_trial=120.0,
     elts_per_layer=2,
@@ -29,20 +36,25 @@ SMALL_SHAPE = dict(
     catalog_events=8_000,
 )
 
+#: Same idea for the serving bench: a shorter YET, identical burst
+#: sizes.  Kept above ~200k occurrences — serving is the regime where
+#: the sweep dominates a quote; shrink it further and the fixed
+#: per-quote metric costs (TVaR, stats) swamp what is being measured.
+SMALL_SHAPE_E14 = dict(
+    n_trials=1_000,
+    mean_events_per_trial=200.0,
+    elt_rows=1_000,
+    catalog_events=8_000,
+)
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--full", action="store_true",
-                        help="run the full (default-shape) sizes")
-    parser.add_argument("--out", type=Path, default=None,
-                        help="output JSON path (default: repo-root BENCH_e13.json)")
-    parser.add_argument("--repeats", type=int, default=3)
-    args = parser.parse_args(argv)
 
-    shape = {} if args.full else SMALL_SHAPE
-    record = measure(layer_counts=LAYER_COUNTS, repeats=args.repeats, **shape)
-    record["tier"] = "full" if args.full else "small"
-    path = write_json(record, args.out)
+def run_e13(full: bool, out_dir: Path | None, repeats: int) -> int:
+    shape = {} if full else SMALL_SHAPE_E13
+    record = e13.measure(layer_counts=e13.LAYER_COUNTS, repeats=repeats, **shape)
+    record["tier"] = "full" if full else "small"
+    path = e13.write_json(
+        record, out_dir / "BENCH_e13.json" if out_dir else None
+    )
 
     print(f"wrote {path}")
     print(f"{'L':>4} {'per-layer':>12} {'fused':>12} {'speedup':>8}")
@@ -52,10 +64,53 @@ def main(argv: list[str] | None = None) -> int:
 
     at16 = next(r for r in record["rows"] if r["n_layers"] == 16)
     if at16["speedup"] < 2.0:
-        print(f"WARNING: speedup at L=16 is {at16['speedup']:.2f}x (bar: 2x)",
+        print(f"WARNING: e13 speedup at L=16 is {at16['speedup']:.2f}x (bar: 2x)",
               file=sys.stderr)
         return 1
     return 0
+
+
+def run_e14(full: bool, out_dir: Path | None, repeats: int) -> int:
+    shape = {} if full else SMALL_SHAPE_E14
+    record = e14.measure(request_counts=e14.REQUEST_COUNTS, repeats=repeats,
+                         **shape)
+    record["tier"] = "full" if full else "small"
+    path = e14.write_json(
+        record, out_dir / "BENCH_e14.json" if out_dir else None
+    )
+
+    print(f"wrote {path}")
+    print(f"{'reqs':>5} {'baseline':>11} {'batched':>11} {'gain':>7} "
+          f"{'batch p95':>10} {'sweeps':>7}")
+    for r in record["rows"]:
+        print(f"{r['n_requests']:>5} {r['baseline_seconds']*1e3:>9.1f}ms "
+              f"{r['batched_seconds']*1e3:>9.1f}ms "
+              f"{r['throughput_gain']:>6.2f}x "
+              f"{r['batched_p95_ms']:>8.1f}ms {r['sweeps']:>7}")
+
+    at32 = next(r for r in record["rows"] if r["n_requests"] == 32)
+    if at32["throughput_gain"] < 3.0:
+        print(f"WARNING: e14 gain at 32 requests is "
+              f"{at32['throughput_gain']:.2f}x (bar: 3x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run the full (default-shape) sizes")
+    parser.add_argument("--out-dir", type=Path, default=None,
+                        help="output directory (default: repo root)")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    if args.out_dir is not None:
+        args.out_dir.mkdir(parents=True, exist_ok=True)
+    status = run_e13(args.full, args.out_dir, args.repeats)
+    print()
+    status |= run_e14(args.full, args.out_dir, args.repeats)
+    return status
 
 
 if __name__ == "__main__":

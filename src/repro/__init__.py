@@ -14,7 +14,10 @@ pipeline and the substrates it runs on:
 - :mod:`repro.data` — the data-management substrate (columnar scans,
   row-store baseline, simulated DFS + MapReduce, warehouse cube);
 - :mod:`repro.hpc` — the HPC substrate (simulated GPU with memory
-  hierarchy, simulated cluster with collectives, cost model).
+  hierarchy, simulated cluster with collectives, cost model);
+- :mod:`repro.serve` — the serving layer (request micro-batching into
+  fused sweeps, content-addressed result cache, SLO admission control)
+  that turns stage-2 speed into many-user pricing throughput.
 
 Quickstart::
 
@@ -24,7 +27,7 @@ Quickstart::
     print(repro.regulator_report(repro.RiskMetrics.from_ylt(result.portfolio_ylt)))
 """
 
-from repro import analytics, bench, catmod, core, data, dfa, hpc, util
+from repro import analytics, bench, catmod, core, data, dfa, hpc, serve, util
 from repro.config import DEFAULTS, ReproConfig
 from repro.core import (
     AggregateAnalysis,
@@ -54,6 +57,7 @@ from repro.dfa import (
     value_at_risk,
 )
 from repro.errors import ReproError
+from repro.serve import BatchPolicy, CachePolicy, PricingService
 from repro.util.rng import RngHierarchy
 
 __version__ = "1.0.0"
@@ -66,6 +70,7 @@ __all__ = [
     "data",
     "dfa",
     "hpc",
+    "serve",
     "util",
     "DEFAULTS",
     "ReproConfig",
@@ -93,6 +98,9 @@ __all__ = [
     "tail_value_at_risk",
     "value_at_risk",
     "ReproError",
+    "PricingService",
+    "BatchPolicy",
+    "CachePolicy",
     "RngHierarchy",
     "__version__",
 ]

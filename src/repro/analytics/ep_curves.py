@@ -42,6 +42,11 @@ class EpCurve:
     def n_trials(self) -> int:
         return self._sorted.size
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the sorted sample (what a result cache accounts)."""
+        return self._sorted.nbytes
+
     def probability_of_exceeding(self, loss) -> np.ndarray | float:
         """``P[value > loss]`` (vectorised over thresholds)."""
         loss = np.asarray(loss, dtype=np.float64)

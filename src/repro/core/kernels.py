@@ -64,7 +64,8 @@ class PortfolioKernel:
     __slots__ = (
         "layer_ids", "occ_retention", "occ_limit", "agg_retention",
         "agg_limit", "participation", "dense_stack", "sparse_ids",
-        "sparse_values", "sparse_offsets", "block_occurrences",
+        "sparse_values", "sparse_offsets", "dense_source", "sparse_source",
+        "occ_floor", "occ_ceiling", "block_occurrences",
     )
 
     def __init__(
@@ -80,6 +81,8 @@ class PortfolioKernel:
         sparse_ids: np.ndarray,
         sparse_values: np.ndarray,
         sparse_offsets: np.ndarray,
+        dense_source: np.ndarray | None = None,
+        sparse_source: np.ndarray | None = None,
         block_occurrences: int = DEFAULT_BLOCK_OCCURRENCES,
     ) -> None:
         n_layers = len(layer_ids)
@@ -96,10 +99,31 @@ class PortfolioKernel:
                 )
         if dense_stack.ndim != 2:
             raise ConfigurationError("dense_stack must be a 2-D matrix")
-        if dense_stack.shape[0] + (sparse_offsets.size - 1) != n_layers:
+        # Row → stored-table indirection: several layers may share one
+        # dense table (or CSR segment) when they price the same merged
+        # book under different terms — the serving layer's common case.
+        if dense_source is None:
+            dense_source = np.arange(dense_stack.shape[0], dtype=np.int64)
+        else:
+            dense_source = np.asarray(dense_source, dtype=np.int64)
+        if sparse_source is None:
+            sparse_source = np.arange(sparse_offsets.size - 1, dtype=np.int64)
+        else:
+            sparse_source = np.asarray(sparse_source, dtype=np.int64)
+        if dense_source.size + sparse_source.size != n_layers:
             raise ConfigurationError(
                 "dense rows + sparse segments must cover every layer"
             )
+        if dense_source.size and not (
+            (dense_source >= 0).all()
+            and (dense_source < dense_stack.shape[0]).all()
+        ):
+            raise ConfigurationError("dense_source indexes outside dense_stack")
+        if sparse_source.size and not (
+            (sparse_source >= 0).all()
+            and (sparse_source < sparse_offsets.size - 1).all()
+        ):
+            raise ConfigurationError("sparse_source indexes outside segments")
         if block_occurrences <= 0:
             raise ConfigurationError("block_occurrences must be positive")
         self.layer_ids = tuple(int(i) for i in layer_ids)
@@ -112,6 +136,22 @@ class PortfolioKernel:
         self.sparse_ids = sparse_ids
         self.sparse_values = sparse_values
         self.sparse_offsets = sparse_offsets
+        self.dense_source = dense_source
+        self.sparse_source = sparse_source
+        # The sweep applies occurrence terms through the identity
+        #   clip(g - r, 0, c)  ==  clip(g, r, r + c) - r
+        # one fused clip per row instead of subtract + clip, with the
+        # "- r × (occurrences in trial)" term folded in after the trial
+        # reduction, where it is an (L, n_trials) operation instead of
+        # an (L, n_occurrences) one.  An *infinite* retention would turn
+        # that correction into inf - inf = NaN, so such rows (result
+        # identically zero) clip through a degenerate [0, 0] window and
+        # contribute nothing to the correction instead.
+        infinite_ret = np.isinf(occ_retention)
+        self.occ_floor = np.where(infinite_ret, 0.0, occ_retention)
+        self.occ_ceiling = np.where(
+            infinite_ret, 0.0, occ_retention + occ_limit
+        )
         self.block_occurrences = int(block_occurrences)
 
     # -- construction ------------------------------------------------------
@@ -128,24 +168,93 @@ class PortfolioKernel:
         Per-layer lookups come from :meth:`Layer.lookup`, so the merge
         work is shared with every other engine via the layer cache.
         """
-        layers = list(portfolio)
-        lookups = [
-            layer.lookup(dense_max_entries=dense_max_entries) for layer in layers
-        ]
-        dense = [(l, lk) for l, lk in zip(layers, lookups) if lk.kind == "dense"]
-        sparse = [(l, lk) for l, lk in zip(layers, lookups) if lk.kind == "sparse"]
+        return cls.from_layers(
+            list(portfolio),
+            dense_max_entries=dense_max_entries,
+            block_occurrences=block_occurrences,
+        )
+
+    @classmethod
+    def from_layers(
+        cls,
+        layers,
+        *,
+        layer_ids=None,
+        dense_max_entries: int = 4_000_000,
+        block_occurrences: int = DEFAULT_BLOCK_OCCURRENCES,
+    ) -> "PortfolioKernel":
+        """Stack loose layers into an ephemeral kernel — no Portfolio needed.
+
+        This is the serving-layer construction path: a micro-batch of
+        ad-hoc quote requests (each an arbitrary ``Layer``) is stacked
+        into one kernel and priced in a single sweep.  ``layer_ids``
+        overrides the row identities — batched requests may carry
+        colliding ``layer.layer_id`` values, so the caller can key rows
+        by request position instead.  Per-layer lookups still come from
+        :meth:`Layer.lookup`, so repeat requests against the same layer
+        objects reuse the cached merges.
+
+        Layers over the *same ELT set and weights* — the what-if burst:
+        many term variations of one book — share a single merged lookup:
+        the merge is built once, stored once, and gathered once per
+        occurrence block, with the other rows fanned out from it (see
+        ``dense_source``/``sparse_source``).
+        """
+        layers = list(layers)
+        if not layers:
+            raise ConfigurationError("a portfolio kernel needs at least one layer")
+        if layer_ids is None:
+            layer_ids = [layer.layer_id for layer in layers]
+        else:
+            layer_ids = [int(i) for i in layer_ids]
+            if len(layer_ids) != len(layers):
+                raise ConfigurationError(
+                    f"got {len(layer_ids)} layer_ids for {len(layers)} layers"
+                )
+        # One merged lookup per distinct (ELT set, weights): layers that
+        # price the same book under different terms reuse the first
+        # layer's merge instead of rebuilding it.  Object identity is
+        # stable here — every layer in `layers` is alive for the call.
+        lookup_by_book: dict = {}
+        lookups = []
+        for layer in layers:
+            book = (tuple(id(e) for e in layer.elts), layer.weights)
+            lk = lookup_by_book.get(book)
+            if lk is None:
+                lk = layer.lookup(dense_max_entries=dense_max_entries)
+                lookup_by_book[book] = lk
+            lookups.append(lk)
+        triples = list(zip(layers, lookups, layer_ids))
+        dense = [t for t in triples if t[1].kind == "dense"]
+        sparse = [t for t in triples if t[1].kind == "sparse"]
         ordered = dense + sparse
 
-        width = max((lk.table_array.size for _, lk in dense), default=0)
-        dense_stack = np.zeros((len(dense), width), dtype=np.float64)
-        for row, (_, lk) in enumerate(dense):
+        # Stack each unique table/segment once; rows point into the
+        # store via the source vectors.
+        def dedupe(entries):
+            store, index, source = [], {}, []
+            for _, lk, _ in entries:
+                pos = index.get(id(lk))
+                if pos is None:
+                    pos = len(store)
+                    index[id(lk)] = pos
+                    store.append(lk)
+                source.append(pos)
+            return store, np.asarray(source, dtype=np.int64)
+
+        dense_store, dense_source = dedupe(dense)
+        sparse_store, sparse_source = dedupe(sparse)
+
+        width = max((lk.table_array.size for lk in dense_store), default=0)
+        dense_stack = np.zeros((len(dense_store), width), dtype=np.float64)
+        for row, lk in enumerate(dense_store):
             table = lk.table_array
             dense_stack[row, :table.size] = table
 
-        if sparse:
-            sparse_ids = np.concatenate([lk.ids for _, lk in sparse])
-            sparse_values = np.concatenate([lk.values for _, lk in sparse])
-            lengths = [lk.ids.size for _, lk in sparse]
+        if sparse_store:
+            sparse_ids = np.concatenate([lk.ids for lk in sparse_store])
+            sparse_values = np.concatenate([lk.values for lk in sparse_store])
+            lengths = [lk.ids.size for lk in sparse_store]
         else:
             sparse_ids = np.empty(0, dtype=np.int64)
             sparse_values = np.empty(0, dtype=np.float64)
@@ -156,11 +265,11 @@ class PortfolioKernel:
 
         def term_vec(attr: str) -> np.ndarray:
             return np.array(
-                [getattr(l.terms, attr) for l, _ in ordered], dtype=np.float64
+                [getattr(l.terms, attr) for l, _, _ in ordered], dtype=np.float64
             )
 
         return cls(
-            layer_ids=tuple(l.layer_id for l, _ in ordered),
+            layer_ids=tuple(lid for _, _, lid in ordered),
             occ_retention=term_vec("occ_retention"),
             occ_limit=term_vec("occ_limit"),
             agg_retention=term_vec("agg_retention"),
@@ -170,6 +279,8 @@ class PortfolioKernel:
             sparse_ids=sparse_ids,
             sparse_values=sparse_values,
             sparse_offsets=sparse_offsets,
+            dense_source=dense_source,
+            sparse_source=sparse_source,
             block_occurrences=block_occurrences,
         )
 
@@ -181,11 +292,18 @@ class PortfolioKernel:
 
     @property
     def n_dense(self) -> int:
-        return self.dense_stack.shape[0]
+        """Dense *rows* (several may share one stored table)."""
+        return self.dense_source.size
 
     @property
     def n_sparse(self) -> int:
-        return self.sparse_offsets.size - 1
+        """Sparse *rows* (several may share one stored CSR segment)."""
+        return self.sparse_source.size
+
+    @property
+    def n_unique_lookups(self) -> int:
+        """Distinct stored lookups (tables + segments) behind the rows."""
+        return self.dense_stack.shape[0] + (self.sparse_offsets.size - 1)
 
     @property
     def nbytes(self) -> int:
@@ -202,18 +320,18 @@ class PortfolioKernel:
 
     # -- gathers -----------------------------------------------------------
 
-    def gather_block(self, event_ids: np.ndarray,
-                     out: np.ndarray | None = None) -> np.ndarray:
-        """Losses for one occurrence block, all layers: ``(L, block)``.
+    def _gather_unique(self, event_ids: np.ndarray, out: np.ndarray):
+        """Gather each *stored* lookup once into its first row.
 
-        One clipped index vector is computed per block and shared by every
-        dense layer through a single two-axis ``take``; sparse layers
-        gather via :func:`sparse_gather_into` on their CSR segment.
+        Returns ``(firsts, duplicates)``: the rows that now hold fresh
+        gathers, and ``(row, source_row)`` pairs for rows sharing a
+        stored lookup with an earlier one — the caller decides whether
+        to copy the raw losses or fold terms in directly.
         """
-        event_ids = np.asarray(event_ids, dtype=np.int64)
-        if out is None:
-            out = np.empty((self.n_layers, event_ids.size), dtype=np.float64)
         n_dense = self.n_dense
+        firsts: list[int] = []
+        duplicates: list[tuple[int, int]] = []
+        first_of: dict[int, int] = {}
         if n_dense:
             # Row-wise takes beat a two-axis gather: each is a contiguous
             # write, and the ids slice stays cache-hot across rows.  The
@@ -221,18 +339,97 @@ class PortfolioKernel:
             # of ids inside the table.
             width = self.dense_stack.shape[1]
             for row in range(n_dense):
-                np.take(self.dense_stack[row], event_ids, mode="clip",
-                        out=out[row])
+                u = int(self.dense_source[row])
+                held = first_of.get(u)
+                if held is None:
+                    np.take(self.dense_stack[u], event_ids, mode="clip",
+                            out=out[row])
+                    first_of[u] = row
+                    firsts.append(row)
+                else:
+                    duplicates.append((row, held))
             oob = event_ids >= width
             if oob.any():
-                out[:n_dense][:, oob] = 0.0
+                for row in firsts:
+                    out[row][oob] = 0.0
         offsets = self.sparse_offsets
-        for seg in range(self.n_sparse):
-            lo, hi = offsets[seg], offsets[seg + 1]
-            sparse_gather_into(
-                self.sparse_ids[lo:hi], self.sparse_values[lo:hi],
-                event_ids, out[n_dense + seg],
-            )
+        first_seg: dict[int, int] = {}
+        for i in range(self.n_sparse):
+            row = n_dense + i
+            seg = int(self.sparse_source[i])
+            held = first_seg.get(seg)
+            if held is None:
+                lo, hi = offsets[seg], offsets[seg + 1]
+                sparse_gather_into(
+                    self.sparse_ids[lo:hi], self.sparse_values[lo:hi],
+                    event_ids, out[row],
+                )
+                first_seg[seg] = row
+                firsts.append(row)
+            else:
+                duplicates.append((row, held))
+        return firsts, duplicates
+
+    def gather_block(self, event_ids: np.ndarray,
+                     out: np.ndarray | None = None) -> np.ndarray:
+        """Losses for one occurrence block, all layers: ``(L, block)``.
+
+        Each *stored* lookup is gathered exactly once per block; rows
+        sharing a lookup (same book, different terms) receive a plain
+        copy of the first row's gather — a sequential write instead of a
+        second random-access pass.
+        """
+        event_ids = np.asarray(event_ids, dtype=np.int64)
+        if out is None:
+            out = np.empty((self.n_layers, event_ids.size), dtype=np.float64)
+        _, duplicates = self._gather_unique(event_ids, out)
+        for row, src in duplicates:
+            np.copyto(out[row], out[src])
+        return out
+
+    def _shift_mask(self, max_trial_count: int) -> np.ndarray:
+        """Rows safe for the shifted-clip identity (see :meth:`sweep`).
+
+        The post-reduction ``- r × count`` correction is a difference of
+        ``~count·r``-magnitude sums, so its absolute rounding error is
+        roughly ``count · r · 2⁻⁵²``.  ``max_trial_count`` is the exact
+        maximum occurrences of any trial in this sweep (not a mean-based
+        estimate — clustered trial sets would blow through one): rows
+        whose worst case stays under the library's cross-engine
+        tolerance (1e-6, with 2x margin for the partial-sum ulps) take
+        the one-pass identity; rows attaching at extreme retention
+        scales fall back to exact subtract-then-clip.
+        """
+        worst_err = self.occ_floor * float(max_trial_count) * 2.0 ** -51
+        return worst_err <= 1e-6
+
+    def _gather_clip_block(self, event_ids: np.ndarray, out: np.ndarray,
+                           shifted: np.ndarray) -> np.ndarray:
+        """Fused gather + occurrence terms for one sweep block.
+
+        Rows flagged in ``shifted`` write ``clip(g, r, r + c)`` — the
+        occurrence result shifted up by the retention, corrected after
+        the trial reduction — in one clip pass; the rest take the exact
+        subtract + clip.  Rows sharing a stored lookup fold either form
+        straight off the shared gather without materialising a copy.
+        Order matters: duplicates read their source row *before* the
+        source row's own in-place terms overwrite it.
+        """
+        firsts, duplicates = self._gather_unique(event_ids, out)
+        for row, src in duplicates:
+            if shifted[row]:
+                np.clip(out[src], self.occ_floor[row], self.occ_ceiling[row],
+                        out=out[row])
+            else:
+                np.subtract(out[src], self.occ_retention[row], out=out[row])
+                np.clip(out[row], 0.0, self.occ_limit[row], out=out[row])
+        for row in firsts:
+            if shifted[row]:
+                np.clip(out[row], self.occ_floor[row], self.occ_ceiling[row],
+                        out=out[row])
+            else:
+                np.subtract(out[row], self.occ_retention[row], out=out[row])
+                np.clip(out[row], 0.0, self.occ_limit[row], out=out[row])
         return out
 
     def gather_layer(self, row: int, event_ids: np.ndarray) -> np.ndarray:
@@ -240,24 +437,19 @@ class PortfolioKernel:
         event_ids = np.asarray(event_ids, dtype=np.int64)
         out = np.empty(event_ids.size, dtype=np.float64)
         if row < self.n_dense:
-            width = self.dense_stack.shape[1]
+            table = self.dense_stack[int(self.dense_source[row])]
+            width = table.size
             safe = np.clip(event_ids, 0, width - 1)
-            np.take(self.dense_stack[row], safe, out=out)
+            np.take(table, safe, out=out)
             np.multiply(out, event_ids < width, out=out)
             return out
-        seg = row - self.n_dense
+        seg = int(self.sparse_source[row - self.n_dense])
         lo, hi = self.sparse_offsets[seg], self.sparse_offsets[seg + 1]
         return sparse_gather_into(
             self.sparse_ids[lo:hi], self.sparse_values[lo:hi], event_ids, out
         )
 
     # -- terms -------------------------------------------------------------
-
-    def apply_occurrence(self, losses: np.ndarray) -> np.ndarray:
-        """Occurrence terms over an ``(L, block)`` loss matrix, in place."""
-        np.subtract(losses, self.occ_retention[:, None], out=losses)
-        np.clip(losses, 0.0, self.occ_limit[:, None], out=losses)
-        return losses
 
     def occurrence_row(self, row: int, losses: np.ndarray) -> np.ndarray:
         """Occurrence terms for one kernel row (returns a new array)."""
@@ -295,6 +487,7 @@ class PortfolioKernel:
         if trials.shape != event_ids.shape:
             raise ConfigurationError("trials and event_ids must be equal-length")
         n_layers = self.n_layers
+        accumulating = out is not None
         if out is None:
             out = np.zeros((n_layers, n_trials), dtype=np.float64)
         elif (out.shape != (n_layers, n_trials) or out.dtype != np.float64
@@ -314,11 +507,23 @@ class PortfolioKernel:
         # the reduction O(n log block) without any n_trials-sized
         # temporaries per block.
         sorted_trials = bool(np.all(trials[1:] >= trials[:-1]))
+        # The shifted-clip error budget is per *trial stream*.  When the
+        # caller accumulates chunk-by-chunk into one running matrix (the
+        # out-of-core path), this call sees only a slice of each trial's
+        # occurrences — the budget would be spent once per chunk and the
+        # shifted/exact decision could diverge from a single-pass run —
+        # so accumulation takes the exact subtract-then-clip throughout.
+        if accumulating:
+            counts = None
+            shifted = np.zeros(n_layers, dtype=bool)
+        else:
+            counts = np.bincount(trials, minlength=n_trials)
+            shifted = self._shift_mask(int(counts.max()))
         for start in range(0, n, block):
             stop = min(start + block, n)
             lanes = loss_buf[:, :stop - start]
-            self.gather_block(event_ids[start:stop], out=lanes)
-            self.apply_occurrence(lanes)
+            self._gather_clip_block(event_ids[start:stop], out=lanes,
+                                    shifted=shifted)
             tr = trials[start:stop]
             if not sorted_trials:
                 order = np.argsort(tr, kind="stable")
@@ -332,6 +537,18 @@ class PortfolioKernel:
             )
             sums = np.add.reduceat(lanes, starts, axis=1)
             out[:, tr[starts]] += sums
+        # The clip identity leaves every shifted row's occurrences up by
+        # its retention; undo it at trial granularity — an (L, n_trials)
+        # rank-one update instead of an (L, n) pass.  The cancellation
+        # can leave a ±ulp residue on trials whose every occurrence sat
+        # below retention, so clamp: the true per-trial sum of clipped
+        # occurrence losses is never negative.  (The exact path needs
+        # neither, so all-exact sweeps — every accumulating call — skip
+        # both passes.)
+        if shifted.any():
+            out -= (np.where(shifted, self.occ_floor, 0.0)[:, None]
+                    * counts[None, :])
+            np.maximum(out, 0.0, out=out)
         return out
 
     def run(

@@ -9,6 +9,11 @@ constant or global memory.
 
 from __future__ import annotations
 
+import hashlib
+import struct
+
+import numpy as np
+
 from repro.core.lookup import LossLookup
 from repro.core.tables import EltTable
 from repro.core.terms import LayerTerms
@@ -32,7 +37,8 @@ class Layer:
         Optional per-ELT participation weights in the merged lookup.
     """
 
-    __slots__ = ("layer_id", "elts", "terms", "weights", "_lookup_cache")
+    __slots__ = ("layer_id", "elts", "terms", "weights", "_lookup_cache",
+                 "_digest_cache")
 
     def __init__(self, layer_id: int, elts, terms: LayerTerms,
                  weights=None) -> None:
@@ -55,6 +61,7 @@ class Layer:
         self.terms = terms
         self.weights = weights
         self._lookup_cache: dict[int, LossLookup] = {}
+        self._digest_cache: str | None = None
 
     @property
     def n_elts(self) -> int:
@@ -80,9 +87,38 @@ class Layer:
             self._lookup_cache[dense_max_entries] = cached
         return cached
 
+    def content_digest(self) -> str:
+        """Content hash of the layer (ELT arrays, weights, terms), cached.
+
+        This is the identity the serving layer's result cache keys on:
+        two ``Layer`` objects built from the same contract data and
+        terms digest identically, so a quote computed for one serves
+        the other.  The cache follows the lookup-cache lifecycle —
+        :meth:`invalidate_lookup` drops it after in-place ELT mutation.
+        """
+        if self._digest_cache is None:
+            h = hashlib.blake2b(digest_size=16)
+            t = self.terms
+            h.update(struct.pack(
+                "<5d", t.occ_retention, t.occ_limit, t.agg_retention,
+                t.agg_limit, t.participation,
+            ))
+            weights = self.weights or (1.0,) * self.n_elts
+            # Length framing: without the ELT count and per-ELT row
+            # counts, two different partitions of overlapping bytes
+            # could hash identically.
+            h.update(struct.pack("<Q", self.n_elts))
+            for elt, w in zip(self.elts, weights):
+                h.update(struct.pack("<Qd", elt.n_events, w))
+                h.update(np.ascontiguousarray(elt.event_ids).data)
+                h.update(np.ascontiguousarray(elt.mean_losses).data)
+            self._digest_cache = h.hexdigest()
+        return self._digest_cache
+
     def invalidate_lookup(self) -> None:
-        """Drop all cached lookups (after mutating an ELT in place)."""
+        """Drop cached lookups and digest (after mutating an ELT in place)."""
         self._lookup_cache.clear()
+        self._digest_cache = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

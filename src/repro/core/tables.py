@@ -20,6 +20,7 @@ with its schema, validation, and the accessors the engines need:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -155,7 +156,7 @@ class YetTable:
     round-trips (their annual loss is zero, which matters for quantiles).
     """
 
-    __slots__ = ("table", "n_trials", "_offsets")
+    __slots__ = ("table", "n_trials", "_offsets", "_fingerprint")
 
     def __init__(self, table: ColumnTable, n_trials: int) -> None:
         if table.schema != YET_SCHEMA:
@@ -171,6 +172,7 @@ class YetTable:
         self.table = table
         self.n_trials = int(n_trials)
         self._offsets: np.ndarray | None = None
+        self._fingerprint: str | None = None
 
     @classmethod
     def simulate(
@@ -240,6 +242,24 @@ class YetTable:
                 self.table["trial"], np.arange(self.n_trials + 1)
             )
         return self._offsets
+
+    def fingerprint(self) -> str:
+        """Content hash of the trial set (hex), computed once and cached.
+
+        Two YETs with the same occurrence stream and trial count share a
+        fingerprint regardless of identity — this is the first component
+        of the serving layer's content-addressed cache key, and what lets
+        a re-simulated YET invalidate exactly the stale entries.
+        """
+        if self._fingerprint is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(np.int64(self.n_trials).tobytes())
+            # Feed the columns through the buffer protocol — a paper-
+            # scale YET is gigabytes, and ``tobytes`` would copy it all.
+            h.update(np.ascontiguousarray(self.table["trial"]).data)
+            h.update(np.ascontiguousarray(self.table["event_id"]).data)
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def mean_events_per_trial(self) -> float:
         return self.n_occurrences / self.n_trials

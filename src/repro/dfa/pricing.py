@@ -3,57 +3,35 @@
 §II: "A 1 million trial aggregate simulation on a typical contract only
 takes 25 seconds and can therefore support real-time pricing."  The
 :class:`RealTimePricer` packages that workflow: given a candidate layer,
-run the fast engine over the shared YET, derive the technical premium
-(expected loss + volatility loading), and report latency plus the
-measured trials/second — from which the E4 bench extrapolates and then
-*verifies* the million-trial figure.
+price it against the shared YET, derive the technical premium (expected
+loss + volatility loading), and report latency plus the measured
+trials/second — from which the E4 bench extrapolates and then *verifies*
+the million-trial figure.
+
+Since the serving layer landed, the pricer is a veneer over
+:class:`~repro.serve.service.PricingService`: single quotes ride the
+service's cache + fused sweep, and :meth:`RealTimePricer.quote_sweep`
+prices *all* candidate structures in **one** stacked-kernel pass instead
+of one YET sweep per alternative.  Passing a specific ``engine`` (an
+instance, or any registry name other than the service-backed
+``vectorized``/``multicore``) keeps the classic one-layer-one-run path
+for both :meth:`quote` and :meth:`quote_sweep` — that is the
+cross-engine validation hook, and its latency fields describe the
+chosen engine, not the service.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 
 from repro.core.engines import Engine, get_engine
 from repro.core.layer import Layer
 from repro.core.portfolio import Portfolio
 from repro.core.tables import YetTable
-from repro.dfa.metrics import tail_value_at_risk
-from repro.errors import AnalysisError
+from repro.dfa.quote import PricingQuote, premium_components
+from repro.errors import AnalysisError, ConfigurationError
 
 __all__ = ["PricingQuote", "RealTimePricer"]
-
-
-@dataclass(frozen=True)
-class PricingQuote:
-    """A technical price for one layer.
-
-    Attributes
-    ----------
-    expected_loss:
-        Mean annual layer loss over the trial set (the pure premium).
-    volatility_load:
-        Loading proportional to the annual-loss standard deviation.
-    tail_load:
-        Loading proportional to TVaR₉₉ (capital-cost proxy).
-    premium:
-        Technical premium: expected loss + both loadings.
-    rate_on_line:
-        Premium divided by the layer's occurrence limit (the market's
-        quoting convention), when the limit is finite.
-    latency_seconds:
-        Wall time to produce the quote.
-    trials_per_second:
-        Simulation throughput achieved while quoting.
-    """
-
-    expected_loss: float
-    volatility_load: float
-    tail_load: float
-    premium: float
-    rate_on_line: float
-    latency_seconds: float
-    trials_per_second: float
 
 
 class RealTimePricer:
@@ -64,37 +42,113 @@ class RealTimePricer:
     yet:
         The shared, pre-simulated trial set (the consistent lens).
     engine:
-        Engine name or instance; defaults to the vectorised engine, the
-        fastest single-process path.
+        ``"vectorized"`` (default) and ``"multicore"`` run through the
+        batched :class:`~repro.serve.service.PricingService` (inline and
+        pooled dispatch respectively).  Any other name or an
+        :class:`~repro.core.engines.Engine` instance prices each quote
+        with a classic single-layer engine run.
     volatility_loading:
         Multiplier on the annual-loss std-dev added to the premium.
     tail_loading:
         Multiplier on TVaR₉₉ added to the premium (cost of capital).
+    cache:
+        Forwarded to the backing service: a
+        :class:`~repro.serve.cache.CachePolicy` or ready
+        :class:`~repro.serve.cache.ResultCache`.  ``CachePolicy(0)``
+        disables result caching — what latency benchmarks that re-quote
+        one layer need.
     """
 
     def __init__(self, yet: YetTable, engine: str | Engine = "vectorized",
                  volatility_loading: float = 0.25,
-                 tail_loading: float = 0.02) -> None:
+                 tail_loading: float = 0.02,
+                 cache=None) -> None:
         if volatility_loading < 0 or tail_loading < 0:
             raise AnalysisError("loadings must be non-negative")
         self.yet = yet
-        self.engine = get_engine(engine) if isinstance(engine, str) else engine
         self.volatility_loading = volatility_loading
         self.tail_loading = tail_loading
+        self._cache = cache
+        self._use_service = isinstance(engine, str) and engine in (
+            "vectorized", "multicore",
+        )
+        #: The classic-path engine; ``None`` for service-backed pricers
+        #: (building one would just idle beside the service's dispatcher).
+        self.engine = (
+            None if self._use_service
+            else get_engine(engine) if isinstance(engine, str) else engine
+        )
+        self._dispatch = "pooled" if engine == "multicore" else "inline"
+        self._service = None
+        self._closed = False
+
+    @property
+    def service(self):
+        """The backing :class:`~repro.serve.service.PricingService`,
+        built on first use (legacy-engine pricers that never sweep skip
+        the YET fingerprinting entirely)."""
+        if self._closed:
+            raise ConfigurationError("pricer is closed")
+        if self._service is None:
+            from repro.serve.service import PricingService
+
+            self._service = PricingService(
+                self.yet,
+                engine=self._dispatch,
+                volatility_loading=self.volatility_loading,
+                tail_loading=self.tail_loading,
+                cache=self._cache,
+            )
+        return self._service
+
+    def close(self) -> None:
+        """Release the service (worker pools when pooled); idempotent and
+        terminal — a quote after close raises instead of silently
+        (re)building a service and resurrecting worker pools."""
+        self._closed = True
+        if self._service is not None:
+            self._service.close()
+        if self.engine is not None and hasattr(self.engine, "close"):
+            self.engine.close()
+
+    def __enter__(self) -> "RealTimePricer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def quote(self, layer: Layer) -> PricingQuote:
         """Produce a technical premium for one candidate layer."""
+        if self._use_service:
+            return self.service.quote(layer)
+        return self._quote_via_engine(layer)
+
+    def quote_sweep(self, layers: list[Layer]) -> list[PricingQuote]:
+        """Quote several structure alternatives (the what-if workflow).
+
+        On the default (service-backed) engines all candidates are
+        coalesced into a single stacked-kernel sweep — N alternatives
+        cost one YET pass — while each quote keeps its own latency and
+        throughput fields.  With an explicitly chosen engine the sweep
+        prices per layer on that engine, keeping the cross-engine
+        validation (and per-engine latency) semantics intact.
+        """
+        if self._use_service:
+            return self.service.quote_many(list(layers))
+        return [self._quote_via_engine(layer) for layer in layers]
+
+    # -- the classic path (explicit engine choice) -------------------------
+
+    def _quote_via_engine(self, layer: Layer) -> PricingQuote:
+        """One-layer, one-engine-run pricing (cross-engine validation)."""
         t0 = time.perf_counter()
         result = self.engine.run(Portfolio([layer]), self.yet)
         ylt = result.ylt_by_layer[layer.layer_id]
-        expected = ylt.mean()
-        std = float(ylt.losses.std(ddof=1)) if ylt.n_trials > 1 else 0.0
-        vol_load = self.volatility_loading * std
-        tail = self.tail_loading * tail_value_at_risk(ylt, 0.99)
-        premium = expected + vol_load + tail
+        expected, vol_load, tail, premium, rol = premium_components(
+            ylt, layer.terms.occ_limit,
+            self.volatility_loading, self.tail_loading,
+        )
         latency = time.perf_counter() - t0
-        occ_limit = layer.terms.occ_limit
-        rol = premium / occ_limit if occ_limit not in (0.0, float("inf")) else float("nan")
         return PricingQuote(
             expected_loss=expected,
             volatility_load=vol_load,
@@ -104,7 +158,3 @@ class RealTimePricer:
             latency_seconds=latency,
             trials_per_second=self.yet.n_trials / latency if latency > 0 else float("inf"),
         )
-
-    def quote_sweep(self, layers: list[Layer]) -> list[PricingQuote]:
-        """Quote several structure alternatives (the what-if workflow)."""
-        return [self.quote(layer) for layer in layers]

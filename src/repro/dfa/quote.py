@@ -1,0 +1,74 @@
+"""The quote record and premium arithmetic shared by both pricers.
+
+A leaf module: :mod:`repro.dfa.pricing` (the classic synchronous
+pricer) and :mod:`repro.serve.service` (the batched service) both
+produce :class:`PricingQuote` values from the same
+:func:`premium_components` arithmetic, so they live below both — one
+formula, one place, and the two paths cannot silently diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tables import YltTable
+from repro.dfa.metrics import tail_value_at_risk
+
+__all__ = ["PricingQuote", "premium_components"]
+
+
+def premium_components(
+    ylt: YltTable,
+    occ_limit: float,
+    volatility_loading: float,
+    tail_loading: float,
+) -> tuple[float, float, float, float, float]:
+    """Technical-premium decomposition of one layer YLT.
+
+    Returns ``(expected_loss, volatility_load, tail_load, premium,
+    rate_on_line)`` — the latency-free fields of a
+    :class:`PricingQuote`, and exactly what the serving layer caches.
+    """
+    expected = ylt.mean()
+    std = float(ylt.losses.std(ddof=1)) if ylt.n_trials > 1 else 0.0
+    vol_load = volatility_loading * std
+    tail = tail_loading * tail_value_at_risk(ylt, 0.99)
+    premium = expected + vol_load + tail
+    rol = (premium / occ_limit
+           if occ_limit not in (0.0, float("inf")) else float("nan"))
+    return expected, vol_load, tail, premium, rol
+
+
+@dataclass(frozen=True)
+class PricingQuote:
+    """A technical price for one layer.
+
+    Attributes
+    ----------
+    expected_loss:
+        Mean annual layer loss over the trial set (the pure premium).
+    volatility_load:
+        Loading proportional to the annual-loss standard deviation.
+    tail_load:
+        Loading proportional to TVaR₉₉ (capital-cost proxy).
+    premium:
+        Technical premium: expected loss + both loadings.
+    rate_on_line:
+        Premium divided by the layer's occurrence limit (the market's
+        quoting convention), when the limit is finite.
+    latency_seconds:
+        Wall time to produce the quote (for batched quotes: submission
+        to resolution, including any batch-window wait).
+    trials_per_second:
+        Simulation throughput of the sweep that produced this number —
+        for a cached quote, the throughput of the original sweep, not
+        of the cache lookup.
+    """
+
+    expected_loss: float
+    volatility_load: float
+    tail_load: float
+    premium: float
+    rate_on_line: float
+    latency_seconds: float
+    trials_per_second: float

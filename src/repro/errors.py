@@ -46,3 +46,7 @@ class EngineError(ReproError):
 
 class AnalysisError(ReproError):
     """A statistical analysis was requested on insufficient or invalid data."""
+
+
+class AdmissionError(ReproError):
+    """The serving layer shed a request (queue full or latency SLO at risk)."""

@@ -17,7 +17,7 @@ assumed), so the regenerated burst profile is calibrated to real code.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import AnalysisError, ConfigurationError
 
@@ -59,6 +59,15 @@ class StageSpec:
             raise ConfigurationError("parallel_fraction must lie in (0, 1]")
         if self.comm_overhead_per_proc_s < 0:
             raise ConfigurationError("comm_overhead_per_proc_s must be non-negative")
+
+    def with_throughput(self, throughput_per_proc: float) -> "StageSpec":
+        """The same stage at a re-measured throughput.
+
+        Continuous calibration (the serving layer's admission controller
+        re-fits its rate estimate from every observed batch) replaces the
+        spec rather than mutating it — specs stay frozen and shareable.
+        """
+        return replace(self, throughput_per_proc=throughput_per_proc)
 
     def runtime_seconds(self, n_procs: int) -> float:
         """Modelled stage runtime on ``n_procs`` processors (Amdahl + comm)."""

@@ -42,6 +42,10 @@ def _call_shared(fn: Callable, *args):
     return fn(_SHARED, *args)
 
 
+def _noop(_i: int) -> None:
+    """Warm-up barrier task (see :meth:`WorkPool.ensure_started`)."""
+
+
 class WorkPool:
     """Map tasks over workers; serial when ``n_workers <= 1``.
 
@@ -96,6 +100,22 @@ class WorkPool:
                 initargs=(shared,) if shared is not None else (),
             )
         return self._executor
+
+    def ensure_started(self, shared=None) -> None:
+        """Pre-spawn the worker processes (idempotent warm-up).
+
+        Worker spawn plus the one-time delivery of ``shared`` costs tens
+        to hundreds of milliseconds — a latency-sensitive caller (the
+        serving layer's pooled dispatcher) pays it here, outside any
+        request's SLO window, instead of inside the first batch.  The
+        executor alone is not enough — ``ProcessPoolExecutor`` forks
+        lazily on submission — so a round of no-op barrier tasks forces
+        the processes (and the ``shared`` initializer) to actually run
+        now.  Serial pools (``n_workers == 1``) have nothing to start.
+        """
+        if self.n_workers > 1:
+            executor = self._executor_handle(shared=shared)
+            list(executor.map(_noop, range(self.n_workers)))
 
     def close(self) -> None:
         """Shut down worker processes (idempotent)."""

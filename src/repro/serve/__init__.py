@@ -1,0 +1,65 @@
+"""The serving layer: batched pricing as a many-user service.
+
+The paper's headline workflow is interactive: once a million-trial
+aggregate simulation runs in seconds (§II's "25 seconds ... real-time
+pricing"), layer pricing stops being an overnight batch and becomes a
+*service* — many underwriters, many candidate structures, one shared,
+pre-simulated YET.  The MapReduce companion study (Yao, Varghese &
+Rau-Chaplin, 2013) makes the same point from the throughput side: the
+binding metric is requests per second against a fixed trial set.
+
+This package turns concurrent requests into few fused sweeps:
+
+===========  ============================================================
+module       responsibility
+===========  ============================================================
+batcher      request broker + micro-batcher: coalesce every request in a
+             short window into one stacked-kernel sweep
+cache        content-addressed results keyed by (YET fingerprint, layer
+             digest, metric), LRU-evicted, invalidated on re-simulation
+admission    SLO-aware accept/shed decisions driven by the HPC cost
+             model, continuously recalibrated from observed batches
+dispatch     batch execution substrates: inline vectorized sweep or
+             trial-block decomposition over a worker pool
+service      the :class:`PricingService` facade — submit/quote/ep_curve,
+             YET lifecycle, stats — that RealTimePricer runs on
+===========  ============================================================
+
+Quickstart::
+
+    import repro
+
+    wl = repro.bench.companion_study_workload(n_trials=10_000)
+    with repro.PricingService(wl.yet) as svc:
+        quotes = svc.quote_many(list(wl.portfolio))   # one fused sweep
+        print(svc.stats.coalescing_factor)
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionDecision
+from repro.serve.batcher import BatchPolicy, MicroBatcher, Ticket
+from repro.serve.cache import CachePolicy, CacheStats, ResultCache, layer_digest
+from repro.serve.dispatch import (
+    Dispatcher,
+    InlineDispatcher,
+    PooledDispatcher,
+    make_dispatcher,
+)
+from repro.serve.service import PricingService, ServeStats
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "BatchPolicy",
+    "MicroBatcher",
+    "Ticket",
+    "CachePolicy",
+    "CacheStats",
+    "ResultCache",
+    "layer_digest",
+    "Dispatcher",
+    "InlineDispatcher",
+    "PooledDispatcher",
+    "make_dispatcher",
+    "PricingService",
+    "ServeStats",
+]

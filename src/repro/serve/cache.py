@@ -1,0 +1,164 @@
+"""Content-addressed result cache for the serving layer.
+
+Once the YET is pre-simulated and shared, a pricing result is a pure
+function of three things: *which trial set* (the YET's content
+fingerprint), *which contract* (a digest of the layer's ELT content,
+weights, and financial terms), and *which metric* was asked for.  The
+cache keys on exactly that triple, so:
+
+- two users submitting the same candidate structure hit the same entry
+  even though they built distinct ``Layer`` objects;
+- a re-simulated YET changes the first key component, and
+  :meth:`ResultCache.invalidate_yet` drops precisely the stale entries;
+- quotes, YLT rows, and EP curves for one layer are separate entries —
+  a curve is ~``n_trials`` floats, a quote is five.
+
+Eviction is LRU by entry count.  The cache stores latency-free payloads
+(metric values, not :class:`~repro.dfa.pricing.PricingQuote` objects);
+the service re-stamps per-request latency on every hit so the quote
+latency fields stay honest.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.layer import Layer
+from repro.errors import ConfigurationError
+
+__all__ = ["CachePolicy", "CacheStats", "ResultCache", "layer_digest"]
+
+
+def layer_digest(layer: Layer) -> str:
+    """Content digest of a layer: ELT arrays, weights, and terms (hex).
+
+    Delegates to :meth:`Layer.content_digest`, which hashes the *inputs*
+    of the merged lookup (event ids and mean losses per ELT,
+    participation weights) plus the terms — never forcing a lookup build
+    — and caches the result on the layer for the lookup-cache lifetime,
+    so repeat submissions of a hot layer skip the hash entirely.
+    """
+    return layer.content_digest()
+
+
+@dataclass(frozen=True)
+class CachePolicy:
+    """Sizing policy for a :class:`ResultCache`.
+
+    ``max_entries == 0`` disables caching entirely (every request prices
+    fresh) — the configuration benchmarks use to measure raw sweep
+    throughput.  ``max_bytes`` bounds the payload footprint: a quote is
+    a handful of floats but a cached YLT or EP curve is ``~8·n_trials``
+    bytes, so entry count alone would let curve traffic pin gigabytes at
+    paper scale.  ``None`` disables the byte bound.
+    """
+
+    max_entries: int = 4096
+    max_bytes: int | None = 256 * 2**20
+
+    def __post_init__(self):
+        if self.max_entries < 0:
+            raise ConfigurationError("max_entries must be non-negative")
+        if self.max_bytes is not None and self.max_bytes < 0:
+            raise ConfigurationError("max_bytes must be non-negative (or None)")
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed by :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidated: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """LRU cache over ``(yet_fingerprint, layer_digest, metric)`` keys.
+
+    Thread-safe: submitters and the batcher's broker thread hit the
+    cache concurrently, so every operation holds one internal lock (the
+    critical sections are dict operations, never pricing work).
+    """
+
+    def __init__(self, policy: CachePolicy | None = None) -> None:
+        self.policy = policy or CachePolicy()
+        self._entries: OrderedDict[tuple[str, str, str], object] = OrderedDict()
+        self._lock = threading.Lock()
+        self._bytes = 0
+        self.stats = CacheStats()
+
+    @staticmethod
+    def _payload_nbytes(payload) -> int:
+        """Approximate payload footprint (``nbytes`` when exposed —
+        YLTs and EP curves — else a small flat charge per entry)."""
+        return int(getattr(payload, "nbytes", 64))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Accounted payload bytes currently held."""
+        with self._lock:
+            return self._bytes
+
+    def get(self, key: tuple[str, str, str]):
+        """The cached payload for ``key``, or ``None`` (counts a miss)."""
+        with self._lock:
+            try:
+                payload = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return payload
+
+    def put(self, key: tuple[str, str, str], payload) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries over
+        either budget (entry count or payload bytes)."""
+        max_bytes = self.policy.max_bytes
+        size = self._payload_nbytes(payload)
+        if self.policy.max_entries == 0:
+            return
+        if max_bytes is not None and size > max_bytes:
+            return  # would evict the whole cache for one entry
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= self._payload_nbytes(old)
+            self._entries[key] = payload
+            self._bytes += size
+            while len(self._entries) > self.policy.max_entries or (
+                max_bytes is not None and self._bytes > max_bytes
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= self._payload_nbytes(evicted)
+                self.stats.evictions += 1
+
+    def invalidate_yet(self, yet_fingerprint: str) -> int:
+        """Drop every entry priced against the given trial set."""
+        with self._lock:
+            stale = [k for k in self._entries if k[0] == yet_fingerprint]
+            for k in stale:
+                self._bytes -= self._payload_nbytes(self._entries.pop(k))
+            self.stats.invalidated += len(stale)
+            return len(stale)
+
+    def clear(self) -> int:
+        """Drop everything (counts as invalidation)."""
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+            self.stats.invalidated += n
+            return n

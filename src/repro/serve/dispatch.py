@@ -1,0 +1,152 @@
+"""Batch execution engines for the serving layer.
+
+A dispatcher takes one stacked :class:`~repro.core.kernels.PortfolioKernel`
+(the micro-batch) and the shared YET and produces the final
+``(L, n_trials)`` YLT matrix — sweep plus aggregate terms.  Two
+substrates are provided, mirroring the engine family:
+
+- :class:`InlineDispatcher` — the vectorized path: one fused sweep on
+  the calling thread.  Lowest latency; what a single-node service runs.
+- :class:`PooledDispatcher` — trial-block decomposition over
+  :class:`~repro.hpc.pool.WorkPool` workers, exactly like the multicore
+  engine.  The *YET arrays* are the pool's shared object (shipped to
+  each worker once, then reused across every batch, because the trial
+  set is the stable side of a serving workload); the per-batch kernel
+  rides along with each task, which is the small side.
+
+Both close cleanly; :meth:`Dispatcher.warmup` lets the service pay
+worker spawn and YET delivery outside any request's SLO window.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.kernels import PortfolioKernel
+from repro.core.tables import YetTable
+from repro.errors import ConfigurationError
+from repro.hpc.pool import WorkPool
+
+__all__ = ["Dispatcher", "InlineDispatcher", "PooledDispatcher",
+           "make_dispatcher"]
+
+
+class Dispatcher(abc.ABC):
+    """Executes one batched kernel over the shared YET."""
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    #: Parallelism the admission controller should model.
+    n_procs: int = 1
+
+    @abc.abstractmethod
+    def run(self, kernel: PortfolioKernel, yet: YetTable) -> np.ndarray:
+        """The final ``(L, n_trials)`` matrix (aggregate terms applied)."""
+
+    def warmup(self, yet: YetTable) -> None:
+        """Pay one-off setup costs (worker spawn, YET shipping) now."""
+
+    def close(self) -> None:
+        """Release execution resources (idempotent)."""
+
+    def __enter__(self) -> "Dispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class InlineDispatcher(Dispatcher):
+    """One fused sweep on the calling thread (the vectorized substrate)."""
+
+    name = "inline"
+
+    def __init__(self, block_occurrences: int | None = None) -> None:
+        self.block_occurrences = block_occurrences
+
+    def run(self, kernel: PortfolioKernel, yet: YetTable) -> np.ndarray:
+        return kernel.run(
+            yet.trials, yet.event_ids, yet.n_trials,
+            block_occurrences=self.block_occurrences,
+        )
+
+
+def _sweep_rows(shared, kernel: PortfolioKernel, r0: int, r1: int,
+                t0: int, t1: int) -> np.ndarray:
+    """Worker: fused sweep over YET rows ``[r0, r1)`` covering trials
+    ``[t0, t1)``, renumbered block-local (picklable top-level task)."""
+    trials, event_ids = shared
+    annual = kernel.sweep(trials[r0:r1] - t0, event_ids[r0:r1], t1 - t0)
+    return kernel.apply_aggregate(annual)
+
+
+class PooledDispatcher(Dispatcher):
+    """Trial-block decomposition over a persistent worker pool.
+
+    The YET's ``trials``/``event_ids`` arrays are installed as the
+    pool's shared object on first use and reused across batches (the
+    pool only re-ships when the service swaps the YET), so the steady
+    per-batch transfer is one small kernel per task.
+    """
+
+    name = "pooled"
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        self.pool = WorkPool(n_workers)
+        self._shared: tuple[np.ndarray, np.ndarray] | None = None
+        self._shared_for: YetTable | None = None
+
+    @property
+    def n_procs(self) -> int:  # type: ignore[override]
+        return self.pool.n_workers
+
+    def _bundle(self, yet: YetTable) -> tuple[np.ndarray, np.ndarray]:
+        """The shared-object bundle, stable per YET instance."""
+        if self._shared_for is not yet:
+            self._shared = (yet.trials, yet.event_ids)
+            self._shared_for = yet
+        return self._shared
+
+    def warmup(self, yet: YetTable) -> None:
+        self.pool.ensure_started(self._bundle(yet))
+
+    def run(self, kernel: PortfolioKernel, yet: YetTable) -> np.ndarray:
+        shared = self._bundle(yet)
+        n_trials = yet.n_trials
+        offsets = yet.trial_offsets
+        n_blocks = min(self.pool.n_workers, n_trials)
+        bounds = np.linspace(0, n_trials, n_blocks + 1).astype(int)
+        tasks = [
+            (kernel, int(offsets[t0]), int(offsets[t1]), t0, t1)
+            for t0, t1 in zip(bounds[:-1], bounds[1:])
+            if t1 > t0
+        ]
+        partials = self.pool.starmap_shared(_sweep_rows, shared, tasks)
+        return np.concatenate(partials, axis=1)
+
+    def close(self) -> None:
+        self.pool.close()
+        self._shared = None
+        self._shared_for = None
+
+
+def make_dispatcher(spec) -> Dispatcher:
+    """Resolve a dispatcher from a name, engine alias, or instance.
+
+    Accepts ``"inline"``/``"vectorized"`` (inline sweep),
+    ``"pooled"``/``"multicore"`` (worker pool), or a ready
+    :class:`Dispatcher`.
+    """
+    if isinstance(spec, Dispatcher):
+        return spec
+    if spec in ("inline", "vectorized"):
+        return InlineDispatcher()
+    if spec in ("pooled", "multicore"):
+        return PooledDispatcher()
+    raise ConfigurationError(
+        f"unknown dispatcher {spec!r}; expected 'inline', 'pooled', or a "
+        "Dispatcher instance"
+    )

@@ -1,0 +1,394 @@
+"""The pricing service facade: quotes and EP curves over a shared YET.
+
+This is the user-facing door of the serving layer.  A
+:class:`PricingService` binds one pre-simulated YET ("a consistent lens
+through which to view results", §II) and turns concurrent ad-hoc
+requests — each a candidate :class:`~repro.core.layer.Layer` — into as
+few fused kernel sweeps as possible:
+
+1. :meth:`submit` runs admission control (SLO-aware shedding), consults
+   the content-addressed :class:`~repro.serve.cache.ResultCache`, and on
+   a miss queues the request with the
+   :class:`~repro.serve.batcher.MicroBatcher`;
+2. the batcher coalesces every request in flight into one ephemeral
+   :meth:`PortfolioKernel.from_layers <repro.core.kernels.PortfolioKernel.from_layers>`
+   stack (duplicate layers collapse to one kernel row);
+3. a :class:`~repro.serve.dispatch.Dispatcher` executes the batch —
+   inline vectorized or over pool workers — and every ticket resolves
+   with its own metric and an honest per-request latency.
+
+The synchronous helpers (:meth:`quote`, :meth:`quote_many`,
+:meth:`ep_curve`) wrap that flow for library callers;
+:class:`~repro.dfa.pricing.RealTimePricer` is a thin veneer over them.
+Throughput framing follows the MapReduce companion study (Yao, Varghese
+& Rau-Chaplin 2013): once one aggregate run is seconds, the binding
+problem is many users per second, not one run's wall time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from repro.analytics.ep_curves import EpCurve
+from repro.core.kernels import PortfolioKernel
+from repro.core.layer import Layer
+from repro.core.tables import YetTable, YltTable
+from repro.dfa.quote import PricingQuote, premium_components
+from repro.errors import AdmissionError, AnalysisError, ConfigurationError
+from repro.serve.admission import AdmissionController
+from repro.serve.batcher import BatchPolicy, MicroBatcher, Ticket
+from repro.serve.cache import CachePolicy, ResultCache, layer_digest
+from repro.serve.dispatch import Dispatcher, make_dispatcher
+
+__all__ = ["PricingService", "ServeStats"]
+
+#: Metrics a request may ask for.
+_METRICS = ("quote", "ylt", "ep_curve")
+
+
+@dataclass
+class ServeStats:
+    """Aggregate counters of one service instance (bounded state only —
+    a long-lived service must not grow per-batch history)."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    shed: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    kernel_rows: int = 0
+    largest_batch: int = 0
+    sweep_seconds: float = 0.0
+
+    @property
+    def sweeps(self) -> int:
+        """Fused YET passes executed (one per batch)."""
+        return self.batches
+
+    @property
+    def coalescing_factor(self) -> float:
+        """Requests answered per YET sweep (the serving layer's win)."""
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+
+class _Request:
+    """One queued pricing request (the batcher's opaque item).
+
+    Deliberately carries no cache key: the key's YET fingerprint is
+    resolved when the batch is *priced*, so a request that straddles a
+    :meth:`PricingService.resimulate` is cached under the trial set it
+    was actually swept against.
+    """
+
+    __slots__ = ("layer", "metric", "digest")
+
+    def __init__(self, layer: Layer, metric: str, digest: str) -> None:
+        self.layer = layer
+        self.metric = metric
+        self.digest = digest
+
+
+class PricingService:
+    """Batched pricing and EP-curve queries against one shared YET.
+
+    Parameters
+    ----------
+    yet:
+        The pre-simulated trial set every quote prices against.
+    engine:
+        Dispatcher choice: ``"inline"``/``"vectorized"`` (default),
+        ``"pooled"``/``"multicore"``, or a
+        :class:`~repro.serve.dispatch.Dispatcher` instance.
+    volatility_loading / tail_loading:
+        Premium loadings, as in :class:`~repro.dfa.pricing.RealTimePricer`.
+    batch:
+        :class:`~repro.serve.batcher.BatchPolicy` — window, batch cap,
+        and whether a broker thread auto-flushes.
+    cache:
+        :class:`~repro.serve.cache.CachePolicy` (or a ready
+        :class:`~repro.serve.cache.ResultCache`) for result reuse.
+    slo_seconds / max_pending:
+        Admission control: shed requests whose modelled latency exceeds
+        the SLO, and cap the queue.  ``None`` SLO = never shed on cost.
+    dense_max_entries:
+        Dense-lookup threshold forwarded to kernel construction.
+    """
+
+    def __init__(
+        self,
+        yet: YetTable,
+        *,
+        engine: str | Dispatcher = "inline",
+        volatility_loading: float = 0.25,
+        tail_loading: float = 0.02,
+        batch: BatchPolicy | None = None,
+        cache: CachePolicy | ResultCache | None = None,
+        slo_seconds: float | None = None,
+        max_pending: int = 10_000,
+        dense_max_entries: int = 4_000_000,
+    ) -> None:
+        if not isinstance(yet, YetTable):
+            raise ConfigurationError(
+                f"expected YetTable, got {type(yet).__name__}"
+            )
+        if volatility_loading < 0 or tail_loading < 0:
+            raise AnalysisError("loadings must be non-negative")
+        self.yet = yet
+        self.volatility_loading = volatility_loading
+        self.tail_loading = tail_loading
+        self.dense_max_entries = dense_max_entries
+        self.dispatcher = make_dispatcher(engine)
+        self.cache = (cache if isinstance(cache, ResultCache)
+                      else ResultCache(cache))
+        self.admission = AdmissionController(
+            slo_seconds=slo_seconds, max_pending=max_pending
+        )
+        self.batcher = MicroBatcher(self._price_batch, batch)
+        # The cache-key metric component carries the loadings: a shared
+        # ResultCache between services configured with different premium
+        # loadings must never serve one service's quote to the other.
+        # (ylt/ep_curve payloads are loading-free, so the bare name is
+        # the whole identity.)
+        self._metric_keys = {
+            "quote": f"quote/v{volatility_loading!r}/t{tail_loading!r}",
+            "ylt": "ylt",
+            "ep_curve": "ep_curve",
+        }
+        self.stats = ServeStats()
+        #: Guards the (non-atomic) counter updates on :attr:`stats` —
+        #: submitters and the broker thread mutate them concurrently.
+        self._stats_lock = threading.Lock()
+        self._yet_fp = yet.fingerprint()
+        self._closed = False
+        if self.batcher.policy.auto_flush:
+            self.batcher.start()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def warmup(self) -> None:
+        """Pre-pay dispatcher setup (worker spawn, YET shipping)."""
+        self.dispatcher.warmup(self.yet)
+
+    def close(self) -> None:
+        """Flush outstanding work and release resources (idempotent)."""
+        if self._closed:
+            return
+        self.batcher.stop()
+        self.batcher.drain()
+        self.dispatcher.close()
+        self._closed = True
+
+    def __enter__(self) -> "PricingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the request path --------------------------------------------------
+
+    def submit(self, layer: Layer, metric: str = "quote") -> Ticket:
+        """Queue one request; returns a :class:`Ticket` resolving to the
+        metric.  Raises :class:`~repro.errors.AdmissionError` when shed.
+        """
+        if self._closed:
+            raise ConfigurationError("service is closed")
+        if not isinstance(layer, Layer):
+            raise ConfigurationError(
+                f"expected Layer, got {type(layer).__name__}"
+            )
+        if metric not in _METRICS:
+            raise ConfigurationError(
+                f"unknown metric {metric!r}; expected one of {_METRICS}"
+            )
+        submitted = time.perf_counter()
+        with self._stats_lock:
+            self.stats.requests += 1
+        digest = layer_digest(layer)
+        payload = self.cache.get(
+            (self._yet_fp, digest, self._metric_keys[metric])
+        )
+        if payload is not None:
+            future: Future = Future()
+            future.set_result(self._materialise(payload, metric, submitted))
+            with self._stats_lock:
+                self.stats.cache_hits += 1
+            return Ticket(future, submitted, cached=True)
+        decision = self.admission.decide(
+            self.batcher.n_pending,
+            lanes_per_request=max(self.yet.n_occurrences, 1),
+            n_procs=self.dispatcher.n_procs,
+            window_seconds=self.batcher.policy.window_seconds,
+        )
+        if not decision.accepted:
+            with self._stats_lock:
+                self.stats.shed += 1
+            raise AdmissionError(decision.reason)
+        request = _Request(layer, metric, digest)
+        future = self.batcher.submit(request)
+        return Ticket(future, submitted)
+
+    def flush(self) -> int:
+        """Price one batch of queued requests now (manual mode)."""
+        return self.batcher.flush()
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every queued request has been priced."""
+        self.batcher.drain(timeout=timeout)
+
+    # -- synchronous facade ------------------------------------------------
+
+    def _settle(self, tickets: list[Ticket],
+                timeout: float | None = None) -> list:
+        """Resolve tickets, driving the batcher inline when no broker
+        thread is running.  The timeout covers the drain too: it bounds
+        queue wait and other threads' in-flight batches (surfacing as
+        :class:`TimeoutError`), though a sweep already running inline on
+        this thread completes before the deadline is rechecked.
+        """
+        if not self.batcher.policy.auto_flush:
+            self.drain(timeout=timeout)
+        return [t.result(timeout=timeout) for t in tickets]
+
+    def quote(self, layer: Layer, timeout: float | None = None) -> PricingQuote:
+        """Price one candidate layer (synchronous)."""
+        return self._settle([self.submit(layer, "quote")], timeout)[0]
+
+    def quote_many(self, layers, timeout: float | None = None) -> list[PricingQuote]:
+        """Price several candidates through one coalesced submission."""
+        tickets = [self.submit(layer, "quote") for layer in layers]
+        return self._settle(tickets, timeout)
+
+    def ylt(self, layer: Layer, timeout: float | None = None) -> YltTable:
+        """The layer's full year-loss table under this YET."""
+        return self._settle([self.submit(layer, "ylt")], timeout)[0]
+
+    def ep_curve(self, layer: Layer, timeout: float | None = None) -> EpCurve:
+        """The layer's aggregate exceedance-probability curve."""
+        return self._settle([self.submit(layer, "ep_curve")], timeout)[0]
+
+    # -- YET lifecycle -----------------------------------------------------
+
+    def resimulate(self, yet: YetTable) -> int:
+        """Swap in a re-simulated YET and invalidate the stale entries.
+
+        Outstanding requests are drained against the old trial set first
+        (their tickets were admitted under it).  Returns the number of
+        cache entries invalidated.
+        """
+        if not isinstance(yet, YetTable):
+            raise ConfigurationError(
+                f"expected YetTable, got {type(yet).__name__}"
+            )
+        self.drain()
+        old_fp = self._yet_fp
+        self.yet = yet
+        self._yet_fp = yet.fingerprint()
+        return self.cache.invalidate_yet(old_fp)
+
+    # -- batch pricing (the batcher's flush_fn) ----------------------------
+
+    def _price_batch(self, pendings) -> list:
+        """Price one micro-batch: stack, sweep once, settle every request."""
+        requests = [p.item for p in pendings]
+        # Snapshot the trial set once: every request in this batch is
+        # priced — and cached — against this YET, even if a resimulate
+        # swaps the service's YET while the sweep runs.
+        yet = self.yet
+        yet_fp = yet.fingerprint()
+        # Duplicate submissions inside one window collapse to one kernel
+        # row; rows are keyed by first-seen digest order.
+        row_ids: dict[str, int] = {}
+        unique_layers: list[Layer] = []
+        for req in requests:
+            if req.digest not in row_ids:
+                row_ids[req.digest] = len(unique_layers)
+                unique_layers.append(req.layer)
+        kernel = PortfolioKernel.from_layers(
+            unique_layers,
+            layer_ids=range(len(unique_layers)),
+            dense_max_entries=self.dense_max_entries,
+        )
+        t0 = time.perf_counter()
+        final = self.dispatcher.run(kernel, yet)
+        sweep_seconds = time.perf_counter() - t0
+        # Simulation throughput of this sweep: the whole trial set passed
+        # once for every request in the batch.  Stamped into quote
+        # payloads so cached re-quotes report the throughput that
+        # *produced* the number, not a dict-lookup fiction.
+        sim_tps = yet.n_trials / max(sweep_seconds, 1e-12)
+        self.admission.observe(
+            lanes=kernel.n_layers * max(yet.n_occurrences, 1),
+            seconds=sweep_seconds,
+            n_procs=self.dispatcher.n_procs,
+        )
+        with self._stats_lock:
+            self.stats.batches += 1
+            self.stats.batched_requests += len(requests)
+            self.stats.kernel_rows += kernel.n_layers
+            self.stats.sweep_seconds += sweep_seconds
+            self.stats.largest_batch = max(self.stats.largest_batch,
+                                           len(requests))
+
+        # One payload per (digest, metric) actually requested, cached
+        # and fanned back out to every request that asked for it.
+        payloads: dict[tuple[str, str], object] = {}
+        results = []
+        for p in pendings:
+            req = p.item
+            pkey = (req.digest, req.metric)
+            payload = payloads.get(pkey)
+            if payload is None:
+                row = kernel.row_of(row_ids[req.digest])
+                payload = self._build_payload(final[row], req.metric, req.layer)
+                if req.metric == "quote":
+                    payload = (*payload, sim_tps)
+                payloads[pkey] = payload
+                self.cache.put(
+                    (yet_fp, req.digest, self._metric_keys[req.metric]),
+                    payload,
+                )
+            results.append(
+                self._materialise(payload, req.metric, p.enqueued_at)
+            )
+        return results
+
+    # -- payloads ----------------------------------------------------------
+
+    def _build_payload(self, losses, metric: str, layer: Layer):
+        """The cacheable, latency-free value of one (layer, metric)."""
+        ylt = YltTable(losses.copy())
+        if metric == "ylt":
+            return ylt
+        if metric == "ep_curve":
+            return EpCurve(ylt.losses)
+        return premium_components(
+            ylt, layer.terms.occ_limit,
+            self.volatility_loading, self.tail_loading,
+        )
+
+    def _materialise(self, payload, metric: str, submitted_at: float):
+        """Stamp a cached payload into a per-request result.
+
+        YLTs are handed out as fresh copies — callers may scale or
+        combine their result, and a shared cached array must not be
+        corruptible.  EP curves are immutable (a private sorted sample)
+        and quotes rebuild from a tuple, so both share safely.
+        """
+        if metric == "ylt":
+            return YltTable(payload.losses.copy())
+        if metric == "ep_curve":
+            return payload
+        expected, vol_load, tail, premium, rol, sim_tps = payload
+        latency = max(time.perf_counter() - submitted_at, 1e-9)
+        return PricingQuote(
+            expected_loss=expected,
+            volatility_load=vol_load,
+            tail_load=tail,
+            premium=premium,
+            rate_on_line=rol,
+            latency_seconds=latency,
+            trials_per_second=sim_tps,
+        )

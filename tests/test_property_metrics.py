@@ -9,10 +9,14 @@ from repro.analytics.ep_curves import EpCurve
 from repro.core.tables import YltTable
 from repro.dfa.metrics import RiskMetrics, tail_value_at_risk, value_at_risk
 
+# Subnormals are excluded: scaling a denormal like 5e-324 underflows to
+# zero, which changes quantile *tie-breaking* (not just rounding) and
+# breaks exact-order properties like positive homogeneity.
 loss_samples = hnp.arrays(
     np.float64,
     st.integers(4, 400),
-    elements=st.floats(0.0, 1e12, allow_nan=False, allow_infinity=False),
+    elements=st.floats(0.0, 1e12, allow_nan=False, allow_infinity=False,
+                       allow_subnormal=False),
 )
 
 

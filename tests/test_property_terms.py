@@ -82,7 +82,10 @@ class TestTrialProperties:
         assert out <= terms.agg_limit * terms.participation + 1e-6
         n = len(losses)
         occ_cap = terms.occ_limit * n if n else 0.0
-        assert out <= terms.participation * occ_cap + 1e-6 or n == 0
+        # Relative slack: summing n capped occurrences accumulates a few
+        # ulps against the single n*occ_limit multiplication.
+        tol = 1e-6 + 1e-9 * occ_cap if occ_cap != float("inf") else 0.0
+        assert out <= terms.participation * occ_cap + tol or n == 0
 
     @settings(max_examples=50)
     @given(terms=terms_strategy, losses=loss_arrays)

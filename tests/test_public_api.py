@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.dfa",
     "repro.analytics",
     "repro.bench",
+    "repro.serve",
 ]
 
 
@@ -63,6 +64,24 @@ def test_errors_hierarchy():
 
     for name in ("ConfigurationError", "SchemaError", "CapacityError",
                  "DeviceError", "ClusterError", "StorageError",
-                 "MapReduceError", "EngineError", "AnalysisError"):
+                 "MapReduceError", "EngineError", "AnalysisError",
+                 "AdmissionError"):
         exc_type = getattr(errors, name)
         assert issubclass(exc_type, errors.ReproError)
+
+
+def test_serve_names_exported_from_root():
+    """The serving layer's facade and configs ride the root namespace."""
+    import repro
+
+    assert repro.PricingService is repro.serve.PricingService
+    assert repro.BatchPolicy is repro.serve.BatchPolicy
+    assert repro.CachePolicy is repro.serve.CachePolicy
+
+
+def test_pricing_quote_importable_from_both_homes():
+    """PricingQuote moved to a leaf module; the classic import must hold."""
+    from repro.dfa.pricing import PricingQuote as via_pricing
+    from repro.dfa.quote import PricingQuote as via_quote
+
+    assert via_pricing is via_quote

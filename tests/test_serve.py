@@ -1,0 +1,613 @@
+"""The serving layer: batcher parity, cache behaviour, admission control.
+
+The central invariant: a quote that rode a coalesced multi-request sweep
+must equal the same layer priced alone through a direct
+``PortfolioKernel.run`` — batching changes wall time, never answers.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.ep_curves import aep_curve
+from repro.core.kernels import PortfolioKernel
+from repro.core.layer import Layer
+from repro.core.tables import EltTable, YetTable
+from repro.core.terms import LayerTerms
+from repro.dfa.metrics import tail_value_at_risk
+from repro.errors import AdmissionError, ConfigurationError
+from repro.serve import (
+    AdmissionController,
+    BatchPolicy,
+    CachePolicy,
+    InlineDispatcher,
+    PooledDispatcher,
+    PricingService,
+    ResultCache,
+    layer_digest,
+    make_dispatcher,
+)
+
+
+def direct_layer_pricing(layer, yet):
+    """One layer priced alone through the fused kernel (the oracle)."""
+    kernel = PortfolioKernel.from_layers([layer], layer_ids=[0])
+    return kernel.run(yet.trials, yet.event_ids, yet.n_trials)[0]
+
+
+def fresh_yet(n_trials=300, catalog_events=600, seed=5, epk=30.0):
+    ids = np.arange(catalog_events, dtype=np.int64)
+    rates = np.full(catalog_events, 1.0 / catalog_events)
+    return YetTable.simulate(ids, rates, n_trials,
+                             np.random.default_rng(seed),
+                             mean_events_per_trial=epk)
+
+
+@functools.lru_cache(maxsize=1)
+def _hypothesis_rig():
+    """One shared (YET, ELTs, id counter) across Hypothesis examples —
+    a module fixture would trip the function-scoped-fixture health check."""
+    from repro.bench.workloads import build_elt
+
+    rng = np.random.default_rng(77)
+    elts = tuple(build_elt(150, 500, rng, contract_id=i) for i in range(2))
+    return fresh_yet(n_trials=200, catalog_events=500, seed=7, epk=25.0), \
+        elts, itertools.count().__next__
+
+
+# ---------------------------------------------------------------------------
+# batcher parity
+# ---------------------------------------------------------------------------
+
+class TestBatcherParity:
+    def test_batched_quotes_match_direct_pricing(self, small_portfolio_workload):
+        wl = small_portfolio_workload
+        layers = list(wl.portfolio)
+        with PricingService(wl.yet) as svc:
+            quotes = svc.quote_many(layers)
+            assert svc.stats.batches == 1, "all requests must share one sweep"
+            for layer, q in zip(layers, quotes):
+                losses = direct_layer_pricing(layer, wl.yet)
+                np.testing.assert_allclose(q.expected_loss, losses.mean(),
+                                           rtol=1e-9, atol=1e-6)
+
+    def test_quote_decomposition_and_latency_fields(self, tiny_workload):
+        with PricingService(tiny_workload.yet) as svc:
+            q = svc.quote(tiny_workload.portfolio.layers[0])
+        assert q.premium == pytest.approx(
+            q.expected_loss + q.volatility_load + q.tail_load
+        )
+        assert q.latency_seconds > 0
+        assert q.trials_per_second > 0
+
+    def test_duplicate_requests_collapse_to_one_kernel_row(self, tiny_workload):
+        layer = tiny_workload.portfolio.layers[0]
+        with PricingService(tiny_workload.yet, cache=CachePolicy(0)) as svc:
+            quotes = svc.quote_many([layer, layer, layer])
+        assert svc.stats.batches == 1
+        assert svc.stats.kernel_rows == 1, "identical layers share one row"
+        assert quotes[0].premium == quotes[1].premium == quotes[2].premium
+
+    def test_mixed_metrics_one_sweep(self, tiny_workload):
+        layer = tiny_workload.portfolio.layers[0]
+        with PricingService(tiny_workload.yet) as svc:
+            t_quote = svc.submit(layer, "quote")
+            t_ylt = svc.submit(layer, "ylt")
+            t_ep = svc.submit(layer, "ep_curve")
+            svc.drain()
+            quote, ylt, ep = (t.result(5) for t in (t_quote, t_ylt, t_ep))
+        assert svc.stats.batches == 1
+        np.testing.assert_allclose(
+            ylt.losses, direct_layer_pricing(layer, tiny_workload.yet)
+        )
+        ref = aep_curve(ylt)
+        assert ep.loss_at_return_period(50.0) == pytest.approx(
+            ref.loss_at_return_period(50.0)
+        )
+        assert quote.expected_loss == pytest.approx(ylt.mean())
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        occ_retention=st.floats(0.0, 3e6, allow_nan=False),
+        occ_limit=st.floats(1e5, 1e9, allow_nan=False),
+        agg_retention=st.floats(0.0, 5e6, allow_nan=False),
+        agg_limit=st.floats(1e5, 1e10, allow_nan=False),
+        participation=st.floats(0.05, 1.0, allow_nan=False,
+                                exclude_min=True),
+    )
+    def test_random_terms_parity(self, occ_retention, occ_limit,
+                                 agg_retention, agg_limit, participation):
+        """Hypothesis-random terms: batched == direct, bit for bit-ish."""
+        yet, elts, counter = _hypothesis_rig()
+        terms = LayerTerms(
+            occ_retention=occ_retention, occ_limit=occ_limit,
+            agg_retention=agg_retention, agg_limit=agg_limit,
+            participation=participation,
+        )
+        ad_hoc = Layer(counter(), elts, terms)
+        fixed = Layer(counter(), elts, LayerTerms(occ_retention=1e5))
+        with PricingService(yet, cache=CachePolicy(0)) as svc:
+            q_batch = svc.quote_many([ad_hoc, fixed])[0]
+        direct = direct_layer_pricing(ad_hoc, yet)
+        np.testing.assert_allclose(q_batch.expected_loss, direct.mean(),
+                                   rtol=1e-9, atol=1e-6)
+        tol_std = float(direct.std(ddof=1)) if direct.size > 1 else 0.0
+        np.testing.assert_allclose(
+            q_batch.volatility_load, 0.25 * tol_std, rtol=1e-9, atol=1e-6
+        )
+
+
+# ---------------------------------------------------------------------------
+# dispatchers
+# ---------------------------------------------------------------------------
+
+class TestDispatchers:
+    def test_pooled_matches_inline(self, small_portfolio_workload):
+        wl = small_portfolio_workload
+        layers = list(wl.portfolio)
+        with PricingService(wl.yet, engine=PooledDispatcher(n_workers=2)) as pooled:
+            pooled.warmup()
+            qp = pooled.quote_many(layers)
+        with PricingService(wl.yet) as inline:
+            qi = inline.quote_many(layers)
+        for a, b in zip(qp, qi):
+            assert a.premium == pytest.approx(b.premium, rel=1e-9)
+
+    def test_make_dispatcher_aliases(self):
+        assert isinstance(make_dispatcher("vectorized"), InlineDispatcher)
+        assert isinstance(make_dispatcher("inline"), InlineDispatcher)
+        pooled = make_dispatcher("multicore")
+        assert isinstance(pooled, PooledDispatcher)
+        pooled.close()
+        with pytest.raises(ConfigurationError):
+            make_dispatcher("warp-drive")
+
+    def test_dispatcher_instance_passes_through(self):
+        d = InlineDispatcher()
+        assert make_dispatcher(d) is d
+
+    def test_ensure_started_actually_spawns_workers(self):
+        from repro.hpc.pool import WorkPool
+
+        with WorkPool(2) as pool:
+            pool.ensure_started()
+            assert pool._executor is not None
+            assert len(pool._executor._processes) >= 1, (
+                "warm-up must fork real workers, not just build the "
+                "executor object"
+            )
+
+
+# ---------------------------------------------------------------------------
+# cache
+# ---------------------------------------------------------------------------
+
+class TestCache:
+    def test_hit_on_equal_content_distinct_objects(self, tiny_workload):
+        base = tiny_workload.portfolio.layers[0]
+        twin = Layer(base.layer_id, base.elts, base.terms)
+        with PricingService(tiny_workload.yet) as svc:
+            first = svc.quote(base)
+            again = svc.quote(twin)
+        assert svc.stats.cache_hits == 1
+        assert svc.stats.batches == 1, "the hit must not trigger a sweep"
+        assert again.premium == first.premium
+        # latency fields are re-stamped per request, not served stale
+        assert again.latency_seconds != first.latency_seconds
+
+    def test_lru_eviction(self, small_portfolio_workload):
+        wl = small_portfolio_workload
+        layers = list(wl.portfolio)[:3]
+        with PricingService(wl.yet, cache=CachePolicy(max_entries=2)) as svc:
+            for layer in layers:
+                svc.quote(layer)          # fills: 0,1 then evicts 0 for 2
+            assert len(svc.cache) == 2
+            assert svc.cache.stats.evictions == 1
+            svc.quote(layers[0])          # evicted -> a fresh sweep
+        assert svc.cache.stats.hits == 0
+        assert svc.stats.batches == 4
+
+    def test_invalidation_on_resimulate(self, tiny_workload):
+        layer = tiny_workload.portfolio.layers[0]
+        with PricingService(tiny_workload.yet) as svc:
+            before = svc.quote(layer)
+            dropped = svc.resimulate(fresh_yet(n_trials=tiny_workload.yet.n_trials))
+            assert dropped == 1
+            after = svc.quote(layer)
+        assert svc.stats.cache_hits == 0
+        assert after.expected_loss != before.expected_loss
+
+    def test_digest_is_content_addressed(self, tiny_workload):
+        base = tiny_workload.portfolio.layers[0]
+        twin = Layer(99, base.elts, base.terms)   # layer_id is NOT content
+        assert layer_digest(base) == layer_digest(twin)
+        reterm = Layer(base.layer_id, base.elts,
+                       LayerTerms(occ_retention=base.terms.occ_retention + 1.0))
+        assert layer_digest(base) != layer_digest(reterm)
+
+    def test_zero_entry_policy_disables_cache(self):
+        cache = ResultCache(CachePolicy(max_entries=0))
+        cache.put(("a", "b", "quote"), 1)
+        assert len(cache) == 0
+        assert cache.get(("a", "b", "quote")) is None
+
+    def test_shared_cache_respects_loadings(self, tiny_workload):
+        """Two services sharing one cache but configured with different
+        premium loadings must never serve each other's quotes."""
+        shared = ResultCache()
+        layer = tiny_workload.portfolio.layers[0]
+        with PricingService(tiny_workload.yet, cache=shared) as loaded:
+            q_loaded = loaded.quote(layer)
+        with PricingService(tiny_workload.yet, cache=shared,
+                            volatility_loading=0.0,
+                            tail_loading=0.0) as pure:
+            q_pure = pure.quote(layer)
+        assert q_pure.premium == pytest.approx(q_pure.expected_loss)
+        assert q_loaded.premium > q_pure.premium
+        # the loading-free ylt/ep_curve payloads DO share
+        with PricingService(tiny_workload.yet, cache=shared) as again:
+            again.ylt(layer)
+            assert shared.stats.hits == 0
+        with PricingService(tiny_workload.yet, cache=shared,
+                            volatility_loading=0.0) as other:
+            other.ylt(layer)
+            assert shared.stats.hits == 1
+
+    def test_byte_budget_evicts_bulky_payloads(self, small_portfolio_workload):
+        """EP curves are ~n_trials floats: a byte budget of about two of
+        them must keep the cache at two entries regardless of max_entries."""
+        wl = small_portfolio_workload
+        budget = 2 * wl.yet.n_trials * 8 + 16
+        with PricingService(
+            wl.yet,
+            cache=CachePolicy(max_entries=100, max_bytes=budget),
+        ) as svc:
+            for layer in wl.portfolio.layers:        # 3 distinct curves
+                svc.ep_curve(layer)
+        assert len(svc.cache) <= 2
+        assert svc.cache.stats.evictions > 0
+        assert svc.cache.nbytes <= budget
+
+    def test_cached_quote_reports_sweep_throughput(self, tiny_workload):
+        with PricingService(tiny_workload.yet) as svc:
+            fresh = svc.quote(tiny_workload.portfolio.layers[0])
+            hit = svc.quote(tiny_workload.portfolio.layers[0])
+        assert svc.stats.cache_hits == 1
+        assert hit.trials_per_second == fresh.trials_per_second, (
+            "a cache hit must report the producing sweep's throughput, "
+            "not the cache lookup's"
+        )
+
+    def test_cached_ylt_is_mutation_safe(self, tiny_workload):
+        layer = tiny_workload.portfolio.layers[0]
+        with PricingService(tiny_workload.yet) as svc:
+            first = svc.ylt(layer)
+            first.losses *= 0.0   # a caller scaling its own copy
+            second = svc.ylt(layer)
+        assert second.losses.sum() > 0.0, "cache must not see the mutation"
+
+
+# ---------------------------------------------------------------------------
+# admission control
+# ---------------------------------------------------------------------------
+
+class TestAdmission:
+    def test_sheds_under_synthetic_burst(self, small_portfolio_workload):
+        """A burst against a pathologically slow calibration must shed."""
+        wl = small_portfolio_workload
+        layers = list(wl.portfolio)
+        svc = PricingService(wl.yet, slo_seconds=0.05,
+                             cache=CachePolicy(0))
+        # Calibrate as if a sweep lane took a millisecond: the modelled
+        # backlog blows through the 50 ms SLO almost immediately.
+        svc.admission.observe(lanes=1_000.0, seconds=1_000.0)
+        shed = 0
+        for _ in range(8):
+            for layer in layers:
+                try:
+                    svc.submit(layer)
+                except AdmissionError:
+                    shed += 1
+        assert shed > 0
+        assert svc.stats.shed == shed
+        svc.drain()
+        svc.close()
+
+    def test_accepts_after_recalibration(self, tiny_workload):
+        svc = PricingService(tiny_workload.yet, slo_seconds=30.0)
+        q = svc.quote(tiny_workload.portfolio.layers[0])
+        assert q.premium > 0
+        # the real sweep recalibrated the controller upward
+        assert svc.admission.lanes_per_second > 0
+        assert svc.stats.shed == 0
+        svc.close()
+
+    def test_queue_cap_is_hard(self, tiny_workload):
+        svc = PricingService(tiny_workload.yet, max_pending=2)
+        layer = tiny_workload.portfolio.layers[0]
+        svc.submit(layer, "quote")
+        svc.submit(layer, "ylt")
+        with pytest.raises(AdmissionError):
+            svc.submit(layer, "ep_curve")
+        svc.drain()
+        svc.close()
+
+    def test_decision_fields(self):
+        ctl = AdmissionController(slo_seconds=1.0, lanes_per_second=100.0)
+        ok = ctl.decide(n_pending=0, lanes_per_request=10.0)
+        assert ok.accepted and ok.estimated_seconds <= 1.0
+        full = ctl.decide(n_pending=10_000, lanes_per_request=10.0)
+        assert not full.accepted
+        assert full.retry_after_seconds > 0
+        slow = ctl.decide(n_pending=50, lanes_per_request=10.0)
+        assert not slow.accepted and "SLO" in slow.reason
+
+    def test_observe_recalibrates_ewma(self):
+        ctl = AdmissionController(lanes_per_second=100.0, smoothing=0.5)
+        ctl.observe(lanes=1000.0, seconds=1.0)   # first: replaces seed
+        assert ctl.lanes_per_second == pytest.approx(1000.0)
+        ctl.observe(lanes=2000.0, seconds=1.0)   # then: EWMA
+        assert ctl.lanes_per_second == pytest.approx(1500.0)
+
+    def test_pooled_calibration_is_per_processor(self):
+        """A batch measured on N workers must calibrate a per-proc rate:
+        storing the aggregate wall rate and multiplying by N again at
+        decide() time would make pooled estimates N times optimistic."""
+        ctl = AdmissionController(slo_seconds=10.0)
+        ctl.observe(lanes=8000.0, seconds=1.0, n_procs=8)
+        assert ctl.lanes_per_second == pytest.approx(1000.0)
+        est = ctl.decide(n_pending=0, lanes_per_request=8000.0,
+                         n_procs=8).estimated_seconds
+        assert est == pytest.approx(1.0, rel=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# async / threaded coalescing
+# ---------------------------------------------------------------------------
+
+class TestThreadedCoalescing:
+    def test_concurrent_submitters_share_sweeps(self, small_portfolio_workload):
+        wl = small_portfolio_workload
+        layers = list(wl.portfolio)
+        with PricingService(
+            wl.yet,
+            batch=BatchPolicy(max_batch=64, window_seconds=0.05,
+                              auto_flush=True),
+            cache=CachePolicy(0),
+        ) as svc:
+            results = {}
+            barrier = threading.Barrier(4)
+
+            def submitter(tid):
+                barrier.wait()
+                tickets = [svc.submit(layer) for layer in layers]
+                results[tid] = [t.result(timeout=10.0) for t in tickets]
+
+            threads = [threading.Thread(target=submitter, args=(i,))
+                       for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert svc.stats.batched_requests == 4 * len(layers)
+        assert svc.stats.batches < 4 * len(layers), \
+            "concurrent requests must coalesce into fewer sweeps"
+        assert svc.stats.coalescing_factor > 1.0
+        ref = {l.layer_id: direct_layer_pricing(l, wl.yet).mean()
+               for l in layers}
+        for quotes in results.values():
+            for layer, q in zip(layers, quotes):
+                assert q.expected_loss == pytest.approx(ref[layer.layer_id])
+
+    def test_slow_flush_past_deadline_keeps_results(self, tiny_workload):
+        """A drain deadline must not discard work that completed late:
+        the check runs before starting a batch, never after finishing."""
+        import time as _time
+
+        svc = PricingService(tiny_workload.yet, cache=CachePolicy(0))
+        slow = _SlowDispatcher(0.05)
+        svc.dispatcher = slow
+        ticket = svc.submit(tiny_workload.portfolio.layers[0])
+        svc.drain(timeout=0.01)   # batch runs inline past the deadline
+        assert ticket.done()
+        assert ticket.result(timeout=1).premium > 0
+        svc.close()
+
+    def test_drain_deadline_refuses_to_start_late_work(self, tiny_workload):
+        svc = PricingService(tiny_workload.yet, cache=CachePolicy(0))
+        svc.submit(tiny_workload.portfolio.layers[0])
+        with pytest.raises(TimeoutError):
+            svc.drain(timeout=-1.0)   # already expired: nothing starts
+        assert svc.stats.batches == 0
+        svc.drain()
+        svc.close()
+
+    def test_flush_error_propagates_to_every_ticket(self, tiny_workload):
+        svc = PricingService(tiny_workload.yet)
+        svc.dispatcher = _ExplodingDispatcher()
+        layer = tiny_workload.portfolio.layers[0]
+        t1 = svc.submit(layer, "quote")
+        t2 = svc.submit(layer, "ylt")
+        svc.flush()
+        for t in (t1, t2):
+            with pytest.raises(RuntimeError, match="boom"):
+                t.result(timeout=5)
+        svc.close()
+
+
+class _ExplodingDispatcher(InlineDispatcher):
+    def run(self, kernel, yet):
+        raise RuntimeError("boom")
+
+
+class _SlowDispatcher(InlineDispatcher):
+    def __init__(self, delay: float) -> None:
+        super().__init__()
+        self.delay = delay
+
+    def run(self, kernel, yet):
+        time.sleep(self.delay)
+        return super().run(kernel, yet)
+
+
+# ---------------------------------------------------------------------------
+# enablers: ephemeral kernels + fingerprints
+# ---------------------------------------------------------------------------
+
+class TestRealTimePricerSweep:
+    def test_default_sweep_is_one_fused_pass(self, small_portfolio_workload):
+        from repro.dfa.pricing import RealTimePricer
+
+        wl = small_portfolio_workload
+        with RealTimePricer(wl.yet) as pricer:
+            quotes = pricer.quote_sweep(list(wl.portfolio))
+            assert pricer.service.stats.sweeps == 1
+            assert len(quotes) == wl.portfolio.n_layers
+
+    def test_explicit_engine_sweep_stays_on_that_engine(self, tiny_workload):
+        """engine='device' is the cross-engine validation hook: the sweep
+        must actually run the device engine, not the inline service."""
+        from repro.core.engines import DeviceEngine
+        from repro.dfa.pricing import RealTimePricer
+
+        engine = DeviceEngine()
+        with RealTimePricer(tiny_workload.yet, engine=engine) as pricer:
+            quotes = pricer.quote_sweep(list(tiny_workload.portfolio))
+            assert pricer._service is None, "service must stay unbuilt"
+        with RealTimePricer(tiny_workload.yet) as ref:
+            expected = ref.quote_sweep(list(tiny_workload.portfolio))
+        for q, e in zip(quotes, expected):
+            assert q.premium == pytest.approx(e.premium, rel=1e-9)
+
+
+class TestEnablers:
+    def test_from_layers_matches_from_portfolio(self, small_portfolio_workload):
+        wl = small_portfolio_workload
+        by_portfolio = PortfolioKernel.from_portfolio(wl.portfolio)
+        loose = PortfolioKernel.from_layers(list(wl.portfolio))
+        assert loose.layer_ids == by_portfolio.layer_ids
+        np.testing.assert_array_equal(loose.dense_stack,
+                                      by_portfolio.dense_stack)
+        full_a = loose.run(wl.yet.trials, wl.yet.event_ids, wl.yet.n_trials)
+        full_b = by_portfolio.run(wl.yet.trials, wl.yet.event_ids,
+                                  wl.yet.n_trials)
+        np.testing.assert_array_equal(full_a, full_b)
+
+    def test_from_layers_synthetic_ids_allow_collisions(self, tiny_workload):
+        layer = tiny_workload.portfolio.layers[0]
+        other = Layer(layer.layer_id, layer.elts,
+                      LayerTerms(occ_retention=0.0))
+        kernel = PortfolioKernel.from_layers([layer, other],
+                                             layer_ids=[0, 1])
+        assert sorted(kernel.layer_ids) == [0, 1]
+        assert kernel.n_layers == 2
+
+    def test_from_layers_validation(self, tiny_workload):
+        layer = tiny_workload.portfolio.layers[0]
+        with pytest.raises(ConfigurationError):
+            PortfolioKernel.from_layers([])
+        with pytest.raises(ConfigurationError):
+            PortfolioKernel.from_layers([layer], layer_ids=[0, 1])
+
+    def test_infinite_retention_prices_to_zero(self, tiny_workload):
+        """inf occ_retention must yield a zero YLT, not NaN (the shifted
+        clip's inf - inf correction), matching the scalar oracle."""
+        layer = tiny_workload.portfolio.layers[0]
+        frozen = Layer(7, layer.elts,
+                       LayerTerms(occ_retention=float("inf")))
+        kernel = PortfolioKernel.from_layers([layer, frozen],
+                                             layer_ids=[0, 1])
+        final = kernel.run(tiny_workload.yet.trials,
+                           tiny_workload.yet.event_ids,
+                           tiny_workload.yet.n_trials)
+        row = kernel.row_of(1)
+        assert np.isfinite(final).all()
+        np.testing.assert_array_equal(final[row], 0.0)
+        live = kernel.row_of(0)
+        np.testing.assert_allclose(
+            final[live], direct_layer_pricing(layer, tiny_workload.yet)
+        )
+
+    def test_extreme_retention_keeps_sequential_parity(self):
+        """Retention at 1e12 with losses a hair above it: the shifted
+        clip's cancellation would eat ~5 digits, so such rows must fall
+        back to exact subtract-then-clip and match the scalar oracle."""
+        r = 1.23456789e12
+        rng = np.random.default_rng(11)
+        n_events = 400
+        losses = r + rng.uniform(0.0, 10.0, size=n_events)
+        elt = EltTable.from_arrays(np.arange(n_events, dtype=np.int64), losses)
+        layer = Layer(0, [elt], LayerTerms(occ_retention=r))
+        yet = fresh_yet(n_trials=50, catalog_events=n_events, seed=13,
+                        epk=40.0)
+        kernel = PortfolioKernel.from_layers([layer], layer_ids=[0])
+        fused = kernel.run(yet.trials, yet.event_ids, yet.n_trials)[0]
+        oracle = np.zeros(yet.n_trials)
+        o = yet.trial_offsets
+        for t in range(yet.n_trials):
+            ev = yet.event_ids[o[t]:o[t + 1]]
+            oracle[t] = layer.terms.trial_loss_scalar(losses[ev])
+        np.testing.assert_allclose(fused, oracle, rtol=1e-9, atol=1e-6)
+
+    def test_clustered_trial_keeps_parity_at_high_retention(self):
+        """A trial holding far more occurrences than the mean must not
+        slip a high-retention row through the shifted-clip gate: the
+        mask keys on the sweep's exact max trial count."""
+        r = 1e8
+        n_events = 64
+        losses = r + np.linspace(0.0, 5.0, n_events)
+        elt = EltTable.from_arrays(np.arange(n_events, dtype=np.int64), losses)
+        layer = Layer(0, [elt], LayerTerms(occ_retention=r))
+        # mean ~3 occurrences/trial, one clustered trial with 1000
+        n_trials = 300
+        rng = np.random.default_rng(21)
+        reg_trials = np.repeat(np.arange(1, n_trials, dtype=np.int64), 3)
+        clustered = np.zeros(1000, dtype=np.int64)
+        trials = np.concatenate([clustered, reg_trials])
+        events = rng.integers(0, n_events, size=trials.size)
+        order = np.argsort(trials, kind="stable")
+        trials, events = trials[order], events[order].astype(np.int64)
+        kernel = PortfolioKernel.from_layers([layer], layer_ids=[0])
+        fused = kernel.run(trials, events, n_trials)[0]
+        oracle = np.zeros(n_trials)
+        for t, e in zip(trials, events):
+            oracle[t] += layer.terms.occurrence_scalar(float(losses[e]))
+        np.testing.assert_allclose(fused, oracle, rtol=1e-9, atol=1e-6)
+
+    def test_pricer_close_is_terminal(self, tiny_workload):
+        from repro.dfa.pricing import RealTimePricer
+
+        pricer = RealTimePricer(tiny_workload.yet)
+        pricer.quote(tiny_workload.portfolio.layers[0])
+        pricer.close()
+        with pytest.raises(ConfigurationError):
+            pricer.quote(tiny_workload.portfolio.layers[0])
+        # terminal even when the lazy service was never built: a later
+        # quote must not silently spawn a fresh service/pool
+        fresh = RealTimePricer(tiny_workload.yet, engine="multicore")
+        fresh.close()
+        with pytest.raises(ConfigurationError):
+            fresh.quote(tiny_workload.portfolio.layers[0])
+
+    def test_yet_fingerprint_is_content_addressed(self):
+        a = fresh_yet(seed=5)
+        b = fresh_yet(seed=5)
+        c = fresh_yet(seed=6)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_batch_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(window_seconds=-1.0)
+        with pytest.raises(ConfigurationError):
+            CachePolicy(max_entries=-1)
