@@ -1,0 +1,279 @@
+"""E15 — the zero-copy shared-memory data plane vs the pickle ship.
+
+The paper's thesis is that risk analytics is data-movement bound: the
+YET is the dominant payload, and §II's numbers all reduce to "keep the
+trial set resident next to the compute".  Our multiprocess paths used to
+violate that on the host itself — ``WorkPool`` delivered the payload by
+*pickling it through the pool initializer* (a full serialise/deserialise
+round per executor build), and the serving layer's ``PooledDispatcher``
+re-pickled the per-batch kernel with every task.  The shared-memory data
+plane (:mod:`repro.hpc.shm`) replaces both with segment handles that
+attach as zero-copy views.
+
+Two measurements, written to ``BENCH_e15.json`` (see ``run_tier2.py``):
+
+- **ship**: delivery cost of the YET bundle to the workers across YET
+  sizes — full pickle round-trip vs arena placement + handle attach,
+  both for the first ship and for the *re-ship* (executor cycled, worker
+  died) where the segments already exist and only handles travel.
+- **batch**: steady-state pooled batch dispatch latency (pool warm, YET
+  delivered, per-batch kernels churning) — kernel pickled per task vs
+  written once into the reusable slab and shipped as ~1 KB of handles.
+  The acceptance bar: **≥ 2x lower batch latency at the medium shape**,
+  and **zero payload re-ships** across repeat runs with an unchanged
+  (re-simulated but equal) YET.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import build_portfolio_workload
+from repro.core.tables import YetTable
+from repro.hpc.shm import SharedArena, shm_available
+from repro.serve.dispatch import InlineDispatcher, PooledDispatcher, _ShmYet
+
+N_WORKERS = 2
+
+#: YET sizes for the ship measurement (occurrences ≈ trials × epk).
+SHIP_SIZES = {
+    "small": dict(n_trials=1_000, mean_events_per_trial=100.0),
+    "medium": dict(n_trials=2_000, mean_events_per_trial=400.0),
+    "large": dict(n_trials=4_000, mean_events_per_trial=1_000.0),
+}
+
+#: Batch shapes: L distinct contract books make the stacked kernel the
+#: dominant per-task payload, which is precisely the serving steady
+#: state this experiment isolates (the YET is already resident either
+#: way).  The *medium* shape carries the acceptance bar and is run
+#: identically in both tiers so the trajectory stays comparable.
+BATCH_SHAPES = {
+    "small": dict(n_layers=8, n_trials=500, mean_events_per_trial=100.0,
+                  elts_per_layer=1, elt_rows=1_000, catalog_events=40_000),
+    "medium": dict(n_layers=16, n_trials=1_500, mean_events_per_trial=150.0,
+                   elts_per_layer=1, elt_rows=2_000, catalog_events=150_000),
+    "large": dict(n_layers=24, n_trials=3_000, mean_events_per_trial=200.0,
+                  elts_per_layer=1, elt_rows=2_000, catalog_events=250_000),
+}
+
+
+def _simulate_yet(n_trials: int, mean_events_per_trial: float,
+                  catalog_events: int = 20_000, seed: int = 7) -> YetTable:
+    ids = np.arange(catalog_events, dtype=np.int64)
+    rates = np.full(catalog_events, 1.0 / catalog_events)
+    return YetTable.simulate(ids, rates, n_trials,
+                             np.random.default_rng(seed),
+                             mean_events_per_trial=mean_events_per_trial)
+
+
+# ---------------------------------------------------------------------------
+# ship: cold-pool YET delivery
+# ---------------------------------------------------------------------------
+
+def measure_ship_row(size: str, shape: dict, repeats: int = 3) -> dict:
+    """Transport cost of delivering one YET bundle to ``N_WORKERS``.
+
+    Measured as the serialise/deserialise work itself, which is what a
+    re-ship actually pays: the pickle path serialises the full columns
+    once and deserialises them in every worker; the handle path copies
+    the columns into a shared segment once and every worker deserialises
+    ~300 bytes of descriptors (the attach is one ``mmap`` each, part of
+    the timed loop via a fresh ``loads`` per worker).  End-to-end pool
+    spawn is deliberately excluded — on fork-based Linux executors the
+    initializer *inherits* memory copy-on-write and the comparison would
+    measure process spawn, while spawn-based hosts (macOS/Windows) and
+    every per-task kernel ship pay exactly the serialise cost below.
+    """
+    import pickle
+
+    yet = _simulate_yet(**shape)
+    bundle = (yet.trials, yet.event_ids)
+    payload_mb = (yet.trials.nbytes + yet.event_ids.nbytes) / 1e6
+
+    pickle_best = shm_best = reship_best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        buf = pickle.dumps(bundle, protocol=pickle.HIGHEST_PROTOCOL)
+        for _w in range(N_WORKERS):
+            pickle.loads(buf)
+        pickle_best = min(pickle_best, time.perf_counter() - t0)
+
+        with SharedArena() as arena:
+            t0 = time.perf_counter()
+            shipment = _ShmYet(yet.to_shared(arena), local=bundle)
+            small = pickle.dumps(shipment, protocol=pickle.HIGHEST_PROTOCOL)
+            for _w in range(N_WORKERS):
+                pickle.loads(small).__shm_resolve__()
+            shm_best = min(shm_best, time.perf_counter() - t0)
+
+            # The re-ship (executor cycled, worker died, pool rebuilt):
+            # the segments already exist, so delivery is handles only —
+            # this is the cost the pickle path pays in full every time.
+            t0 = time.perf_counter()
+            small = pickle.dumps(shipment, protocol=pickle.HIGHEST_PROTOCOL)
+            for _w in range(N_WORKERS):
+                pickle.loads(small).__shm_resolve__()
+            reship_best = min(reship_best, time.perf_counter() - t0)
+
+    return {
+        "size": size,
+        "n_occurrences": yet.n_occurrences,
+        "payload_mb": payload_mb,
+        "handle_bytes": len(small),
+        "pickle_ship_seconds": pickle_best,
+        "shm_first_ship_seconds": shm_best,
+        "shm_reship_seconds": reship_best,
+        "first_ship_speedup": pickle_best / shm_best,
+        "reship_speedup": pickle_best / reship_best,
+    }
+
+
+# ---------------------------------------------------------------------------
+# batch: steady-state pooled dispatch
+# ---------------------------------------------------------------------------
+
+def build_batch_workload(shape: dict, n_kernels: int = 4):
+    """One YET plus a cycle of per-batch kernels over distinct books.
+
+    Serving batches re-stack a fresh ephemeral kernel every window; the
+    cycle of pre-built kernels models that churn (the transport cannot
+    amortise "same kernel as last batch") without timing kernel
+    construction, which is identical on both paths.
+    """
+    wl = build_portfolio_workload(**shape, seed=11)
+    kernels = [
+        wl.portfolio.kernel(dense_max_entries=4_000_000 + gen)
+        for gen in range(n_kernels)
+    ]
+    return wl.yet, kernels
+
+
+def run_batches(dispatcher, yet, kernels, n_batches: int):
+    """Steady-state per-batch dispatch latencies (pool warm, YET shipped)."""
+    dispatcher.warmup(yet)
+    dispatcher.run(kernels[0], yet)  # attach/one-time costs out of band
+    latencies = []
+    for b in range(n_batches):
+        kernel = kernels[b % len(kernels)]
+        t0 = time.perf_counter()
+        dispatcher.run(kernel, yet)
+        latencies.append(time.perf_counter() - t0)
+    return latencies
+
+
+def measure_batch_row(size: str, shape: dict, n_batches: int) -> dict:
+    yet, kernels = build_batch_workload(shape)
+    kernel_mb = kernels[0].nbytes / 1e6
+
+    # Parity before timing: a wrong fast path is not a fast path.
+    oracle = InlineDispatcher().run(kernels[0], yet)
+
+    with PooledDispatcher(N_WORKERS, transport="pickle") as pickle_d:
+        np.testing.assert_allclose(pickle_d.run(kernels[0], yet), oracle,
+                                   rtol=1e-9, atol=1e-6)
+        pickle_lat = run_batches(pickle_d, yet, kernels, n_batches)
+
+    with PooledDispatcher(N_WORKERS, transport="shm") as shm_d:
+        np.testing.assert_allclose(shm_d.run(kernels[0], yet), oracle,
+                                   rtol=1e-9, atol=1e-6)
+        ships_warm = shm_d.pool.payload_ships
+        shm_lat = run_batches(shm_d, yet, kernels, n_batches)
+
+        # Repeat against a re-simulated but *equal* trial set: the
+        # fingerprint-keyed bundle must re-ship nothing.
+        equal_yet = build_portfolio_workload(**shape, seed=11).yet
+        shm_d.run(kernels[0], equal_yet)
+        reships = shm_d.pool.payload_ships - ships_warm
+        slab_generations = shm_d._slab.generations if shm_d._slab else 0
+
+    p50_pickle = float(np.median(pickle_lat))
+    p50_shm = float(np.median(shm_lat))
+    return {
+        "size": size,
+        "n_layers": shape["n_layers"],
+        "n_occurrences": yet.n_occurrences,
+        "kernel_mb": kernel_mb,
+        "pickle_batch_seconds": p50_pickle,
+        "shm_batch_seconds": p50_shm,
+        "batch_speedup": p50_pickle / p50_shm,
+        "pickle_p95_ms": float(np.percentile(pickle_lat, 95)) * 1e3,
+        "shm_p95_ms": float(np.percentile(shm_lat, 95)) * 1e3,
+        "reships_on_repeat": reships,
+        "slab_generations": slab_generations,
+    }
+
+
+def measure(ship_sizes=("small", "medium"), batch_sizes=("small", "medium"),
+            n_batches: int = 6, ship_repeats: int = 3) -> dict:
+    """Run both measurements; returns the JSON-able record."""
+    if not shm_available():  # pragma: no cover - degraded host
+        return {"experiment": "e15_shm_data_plane", "shm_available": False,
+                "ship_rows": [], "batch_rows": []}
+    ship_rows = [measure_ship_row(s, SHIP_SIZES[s], repeats=ship_repeats)
+                 for s in ship_sizes]
+    batch_rows = [measure_batch_row(s, BATCH_SHAPES[s], n_batches)
+                  for s in batch_sizes]
+    return {
+        "experiment": "e15_shm_data_plane",
+        "shm_available": True,
+        "n_workers": N_WORKERS,
+        "n_batches": n_batches,
+        "ship_rows": ship_rows,
+        "batch_rows": batch_rows,
+    }
+
+
+def write_json(record: dict, path: str | Path | None = None) -> Path:
+    """Write the bench record next to the repo root (the trajectory file)."""
+    if path is None:
+        path = Path(__file__).resolve().parent.parent / "BENCH_e15.json"
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+# -- pytest entry points ----------------------------------------------------
+
+@pytest.fixture(scope="module")
+def record():
+    return measure()
+
+
+def test_shm_batch_dispatch_beats_pickle(record):
+    """The acceptance bar: ≥ 2x lower steady-state batch latency at the
+    medium shape, with zero payload re-ships."""
+    if not record["shm_available"]:
+        pytest.skip("shared memory unavailable on this host")
+    row = next(r for r in record["batch_rows"] if r["size"] == "medium")
+    assert row["batch_speedup"] >= 2.0, (
+        f"shm batch dispatch gained only {row['batch_speedup']:.2f}x over "
+        "the pickle ship at the medium shape (bar is 2x)"
+    )
+    assert row["reships_on_repeat"] == 0
+
+
+def test_report(record):
+    """Emit the tables and the JSON trajectory file."""
+    write_json(record)
+    print()
+    print(f"{'size':>7} {'yet MB':>8} {'pickle ship':>12} {'shm first':>12} "
+          f"{'shm reship':>12} {'reship gain':>12}")
+    for r in record["ship_rows"]:
+        print(f"{r['size']:>7} {r['payload_mb']:>8.1f} "
+              f"{r['pickle_ship_seconds']*1e3:>10.2f}ms "
+              f"{r['shm_first_ship_seconds']*1e3:>10.2f}ms "
+              f"{r['shm_reship_seconds']*1e3:>10.3f}ms "
+              f"{r['reship_speedup']:>11.0f}x")
+    print()
+    print(f"{'size':>7} {'kern MB':>8} {'pickle batch':>13} {'shm batch':>12} "
+          f"{'speedup':>8} {'reships':>8}")
+    for r in record["batch_rows"]:
+        print(f"{r['size']:>7} {r['kernel_mb']:>8.1f} "
+              f"{r['pickle_batch_seconds']*1e3:>11.1f}ms "
+              f"{r['shm_batch_seconds']*1e3:>10.1f}ms "
+              f"{r['batch_speedup']:>7.2f}x {r['reships_on_repeat']:>8}")

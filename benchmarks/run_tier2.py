@@ -3,16 +3,20 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/run_tier2.py [--full] [--out-dir DIR]
+                                                  [--only {e13,e14,e15}]
 
-Two trajectory records are refreshed:
+Three trajectory records are refreshed:
 
 - ``BENCH_e13.json`` — the fused portfolio kernel vs the per-layer path;
 - ``BENCH_e14.json`` — the serving layer's micro-batched pricing vs one
-  sweep per request.
+  sweep per request;
+- ``BENCH_e15.json`` — the zero-copy shared-memory data plane vs the
+  pickle ship on the pooled dispatch path.
 
 The default (small) sizes finish in seconds so every PR can refresh the
 trajectory and compare against the committed records; ``--full`` runs
-the paper-shaped sizes from the bench modules.
+the paper-shaped sizes from the bench modules.  ``--only`` (repeatable)
+restricts the run to named experiments.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import bench_e13_fused_portfolio as e13
 import bench_e14_serving as e14
+import bench_e15_shm_data_plane as e15
 
 #: Reduced shape for the per-PR tier-2 run: same layer counts, ~8x fewer
 #: occurrences, so the trajectory stays comparable but cheap.
@@ -96,6 +101,45 @@ def run_e14(full: bool, out_dir: Path | None, repeats: int) -> int:
     return 0
 
 
+def run_e15(full: bool, out_dir: Path | None, repeats: int) -> int:
+    sizes = ("small", "medium", "large") if full else ("small", "medium")
+    record = e15.measure(ship_sizes=sizes, batch_sizes=sizes,
+                         n_batches=max(2 * repeats, 4), ship_repeats=repeats)
+    record["tier"] = "full" if full else "small"
+    path = e15.write_json(
+        record, out_dir / "BENCH_e15.json" if out_dir else None
+    )
+
+    print(f"wrote {path}")
+    if not record["shm_available"]:
+        print("WARNING: shared memory unavailable; e15 recorded no rows",
+              file=sys.stderr)
+        return 0
+    print(f"{'size':>7} {'kern MB':>8} {'pickle batch':>13} {'shm batch':>12} "
+          f"{'speedup':>8} {'reships':>8}")
+    for r in record["batch_rows"]:
+        print(f"{r['size']:>7} {r['kernel_mb']:>8.1f} "
+              f"{r['pickle_batch_seconds']*1e3:>11.1f}ms "
+              f"{r['shm_batch_seconds']*1e3:>10.1f}ms "
+              f"{r['batch_speedup']:>7.2f}x {r['reships_on_repeat']:>8}")
+
+    medium = next(r for r in record["batch_rows"] if r["size"] == "medium")
+    status = 0
+    if medium["batch_speedup"] < 2.0:
+        print(f"WARNING: e15 batch speedup at the medium shape is "
+              f"{medium['batch_speedup']:.2f}x (bar: 2x)", file=sys.stderr)
+        status = 1
+    if any(r["reships_on_repeat"] != 0 for r in record["batch_rows"]):
+        print("WARNING: e15 observed payload re-ships on an unchanged YET",
+              file=sys.stderr)
+        status = 1
+    return status
+
+
+#: Experiment registry for ``--only`` (insertion order = run order).
+EXPERIMENTS = {"e13": run_e13, "e14": run_e14, "e15": run_e15}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true",
@@ -103,13 +147,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out-dir", type=Path, default=None,
                         help="output directory (default: repo root)")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--only", action="append", choices=sorted(EXPERIMENTS),
+                        default=None, metavar="EXP",
+                        help="run only the named experiment(s); repeatable "
+                             f"(choices: {', '.join(sorted(EXPERIMENTS))})")
     args = parser.parse_args(argv)
 
     if args.out_dir is not None:
         args.out_dir.mkdir(parents=True, exist_ok=True)
-    status = run_e13(args.full, args.out_dir, args.repeats)
-    print()
-    status |= run_e14(args.full, args.out_dir, args.repeats)
+    selected = args.only or list(EXPERIMENTS)
+    status = 0
+    for i, name in enumerate(name for name in EXPERIMENTS if name in selected):
+        if i:
+            print()
+        status |= EXPERIMENTS[name](args.full, args.out_dir, args.repeats)
     return status
 
 

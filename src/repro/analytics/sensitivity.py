@@ -51,36 +51,48 @@ def term_sensitivities(
     """
     if not (0.0 < bump_fraction < 1.0):
         raise AnalysisError("bump_fraction must lie in (0, 1)")
-    eng = get_engine(engine) if isinstance(engine, str) else engine
+    # An engine built here is also torn down here (worker pools, staged
+    # shared memory); caller-provided instances keep their resources —
+    # a sweep of many sensitivities should pass one warm engine in.
+    owned = isinstance(engine, str)
+    eng = get_engine(engine) if owned else engine
 
     def run(l: Layer) -> float:
         res = eng.run(Portfolio([l]), yet)
         return statistic(res.ylt_by_layer[l.layer_id])
 
-    base_value = run(layer)
-    base_terms = layer.terms
-    # A characteristic money scale for zero/inf bases.
-    scale = max(base_terms.occ_retention, 1.0)
+    try:
+        base_value = run(layer)
+        base_terms = layer.terms
+        # A characteristic money scale for zero/inf bases.
+        scale = max(base_terms.occ_retention, 1.0)
 
-    out = {}
-    for name in terms:
-        if name not in _BUMPABLE:
-            raise AnalysisError(f"unknown term {name!r}; bumpable: {_BUMPABLE}")
-        current = getattr(base_terms, name)
-        if name == "participation":
-            bump = -bump_fraction * current  # stay within (0, 1]
-        elif math.isinf(current) or current == 0.0:
-            bump = bump_fraction * scale
-        else:
-            bump = bump_fraction * current
-        bumped_value = current + bump
-        if math.isinf(current):
-            # Bumping an unlimited term means *introducing* a cap near the
-            # observed losses; skip instead of inventing one.
-            out[name] = 0.0
-            continue
-        bumped_terms = dataclasses.replace(base_terms, **{name: bumped_value})
-        bumped_layer = Layer(layer.layer_id, layer.elts, bumped_terms,
-                             weights=layer.weights)
-        out[name] = (run(bumped_layer) - base_value) / bump
-    return out
+        out = {}
+        for name in terms:
+            if name not in _BUMPABLE:
+                raise AnalysisError(
+                    f"unknown term {name!r}; bumpable: {_BUMPABLE}"
+                )
+            current = getattr(base_terms, name)
+            if name == "participation":
+                bump = -bump_fraction * current  # stay within (0, 1]
+            elif math.isinf(current) or current == 0.0:
+                bump = bump_fraction * scale
+            else:
+                bump = bump_fraction * current
+            bumped_value = current + bump
+            if math.isinf(current):
+                # Bumping an unlimited term means *introducing* a cap near
+                # the observed losses; skip instead of inventing one.
+                out[name] = 0.0
+                continue
+            bumped_terms = dataclasses.replace(
+                base_terms, **{name: bumped_value}
+            )
+            bumped_layer = Layer(layer.layer_id, layer.elts, bumped_terms,
+                                 weights=layer.weights)
+            out[name] = (run(bumped_layer) - base_value) / bump
+        return out
+    finally:
+        if owned and hasattr(eng, "close"):
+            eng.close()

@@ -21,11 +21,13 @@ from repro.core.tables import (
     YELT_SCHEMA,
     YLT_SCHEMA,
     EltTable,
+    YetHandles,
     YetTable,
     YeltTable,
     YltTable,
     YelltModel,
 )
+from repro.core.kernels import KernelHandles, PortfolioKernel
 from repro.core.terms import LayerTerms
 from repro.core.lookup import LossLookup
 from repro.core.layer import Layer
@@ -50,10 +52,13 @@ __all__ = [
     "YELT_SCHEMA",
     "YLT_SCHEMA",
     "EltTable",
+    "YetHandles",
     "YetTable",
     "YeltTable",
     "YltTable",
     "YelltModel",
+    "KernelHandles",
+    "PortfolioKernel",
     "LayerTerms",
     "LossLookup",
     "Layer",

@@ -39,12 +39,44 @@ arrays per layer per block.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.lookup import sparse_gather_into
 from repro.errors import ConfigurationError
 
-__all__ = ["PortfolioKernel", "DEFAULT_BLOCK_OCCURRENCES"]
+__all__ = ["KernelHandles", "PortfolioKernel", "DEFAULT_BLOCK_OCCURRENCES"]
+
+#: Kernel array attributes that travel through the shared-memory plane,
+#: in the positional order of :meth:`PortfolioKernel.__init__`'s vector
+#: arguments.  ``occ_floor``/``occ_ceiling`` are derived, not shipped.
+_HANDLE_FIELDS = (
+    "occ_retention", "occ_limit", "agg_retention", "agg_limit",
+    "participation", "dense_stack", "sparse_ids", "sparse_values",
+    "sparse_offsets", "dense_source", "sparse_source",
+)
+
+
+@dataclass(frozen=True)
+class KernelHandles:
+    """Shared-memory descriptor of one stacked kernel.
+
+    Produced by :meth:`PortfolioKernel.export_handles`: the eleven array
+    buffers as :class:`~repro.hpc.shm.ShmArrayHandle`\\ s plus the two
+    scalar fields.  Pickles to ~1 KB regardless of how wide the dense
+    stack is, so the serving layer can ship a per-batch kernel with
+    every task for the cost of a dict of descriptors.
+    """
+
+    arrays: dict
+    layer_ids: tuple[int, ...]
+    block_occurrences: int
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes the handles point at."""
+        return sum(h.nbytes for h in self.arrays.values())
 
 #: Occurrence-block width of the fused sweep.  Sized so the ``(L, block)``
 #: loss matrix of a mid-sized portfolio stays cache-resident (16 layers ×
@@ -282,6 +314,42 @@ class PortfolioKernel:
             dense_source=dense_source,
             sparse_source=sparse_source,
             block_occurrences=block_occurrences,
+        )
+
+    # -- shared-memory transport -------------------------------------------
+
+    def export_handles(self, arena) -> KernelHandles:
+        """Place every array buffer in shared memory; returns the handles.
+
+        ``arena`` may be a :class:`~repro.hpc.shm.SharedArena` (one
+        fresh segment, for a kernel staged across many runs) or a
+        :class:`~repro.hpc.shm.ShmSlab` (the serving layer's reusable
+        per-batch slab).  Either way the kernel's payload is copied into
+        shared pages once and :meth:`from_handles` re-attaches it as
+        views — the pickled task argument shrinks from the full stacked
+        lookup to ~1 KB of descriptors.
+        """
+        handles = arena.place(*(getattr(self, f) for f in _HANDLE_FIELDS))
+        return KernelHandles(
+            arrays=dict(zip(_HANDLE_FIELDS, handles)),
+            layer_ids=self.layer_ids,
+            block_occurrences=self.block_occurrences,
+        )
+
+    @classmethod
+    def from_handles(cls, handles: KernelHandles) -> "PortfolioKernel":
+        """Rebuild a kernel over attached (read-only, zero-copy) views.
+
+        Sweeps never write into the lookup buffers, so a handle-built
+        kernel computes bit-identical results to the original; only the
+        tiny derived vectors (``occ_floor``/``occ_ceiling``) are
+        materialised locally by ``__init__``.
+        """
+        arrays = {name: h.attach() for name, h in handles.arrays.items()}
+        return cls(
+            layer_ids=handles.layer_ids,
+            block_occurrences=handles.block_occurrences,
+            **arrays,
         )
 
     # -- shape metadata ----------------------------------------------------

@@ -35,6 +35,7 @@ __all__ = [
     "YELT_SCHEMA",
     "YLT_SCHEMA",
     "EltTable",
+    "YetHandles",
     "YetTable",
     "YeltTable",
     "YltTable",
@@ -147,6 +148,25 @@ class EltTable:
 # ---------------------------------------------------------------------------
 # YET
 # ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class YetHandles:
+    """Shared-memory descriptor of one YET (the zero-copy wire format).
+
+    Produced by :meth:`YetTable.to_shared`; pickles as three
+    :class:`~repro.hpc.shm.ShmArrayHandle` column descriptors plus the
+    trial count — a few hundred bytes for a table of any size.
+    :meth:`YetTable.from_handles` re-attaches it as views in a worker.
+    ``fingerprint`` rides along when the source table had already
+    computed it, so attached copies skip the content hash too.
+    """
+
+    trial: object
+    seq: object
+    event_id: object
+    n_trials: int
+    fingerprint: str | None = None
+
 
 class YetTable:
     """Pre-simulated year-event table.
@@ -263,6 +283,51 @@ class YetTable:
 
     def mean_events_per_trial(self) -> float:
         return self.n_occurrences / self.n_trials
+
+    # -- shared-memory transport -------------------------------------------
+
+    def to_shared(self, arena) -> YetHandles:
+        """Place the table's columns in shared memory; returns the handles.
+
+        ``arena`` is a :class:`~repro.hpc.shm.SharedArena` (or anything
+        with its ``place`` signature) that *owns* the resulting segment —
+        this table is copied into it once, and every worker that calls
+        :meth:`from_handles` on the result sees the same physical pages
+        instead of a pickled replica.
+
+        All three columns travel, although the sweep paths read only
+        ``trial``/``event_id``: the handles are the YET's wire format
+        (the multi-node sharding axis will ship whole sub-YETs), so a
+        faithful round-trip is worth ``seq``'s ~20% of one staging copy.
+        """
+        h_trial, h_seq, h_event = arena.place(
+            self.table["trial"], self.table["seq"], self.table["event_id"]
+        )
+        return YetHandles(
+            trial=h_trial, seq=h_seq, event_id=h_event,
+            n_trials=self.n_trials, fingerprint=self._fingerprint,
+        )
+
+    @classmethod
+    def from_handles(cls, handles: YetHandles) -> "YetTable":
+        """Re-attach a shared YET as zero-copy (read-only) column views.
+
+        Validation is skipped: the owning process validated the table
+        when it was built, and the attach path runs in workers where an
+        extra O(n) sortedness pass per process would tax exactly the
+        hot path this transport exists to thin.
+        """
+        table = ColumnTable(YET_SCHEMA, {
+            "trial": handles.trial.attach(),
+            "seq": handles.seq.attach(),
+            "event_id": handles.event_id.attach(),
+        })
+        yet = cls.__new__(cls)
+        yet.table = table
+        yet.n_trials = int(handles.n_trials)
+        yet._offsets = None
+        yet._fingerprint = handles.fingerprint
+        return yet
 
     def slice_trials(self, t_start: int, t_stop: int) -> "YetTable":
         """Sub-YET covering trials ``[t_start, t_stop)`` (renumbered to 0)."""

@@ -13,8 +13,15 @@ The cluster side (:mod:`repro.hpc.cluster`, :mod:`repro.hpc.collectives`)
 models the "thousands of processors" stages with MPI-style collectives and
 an analytic cost model (:mod:`repro.hpc.cost_model`) used for the burst /
 elasticity analysis (experiment E9).
+
+The *real* (not simulated) parallel substrate is :mod:`repro.hpc.pool`
+plus the zero-copy shared-memory data plane of :mod:`repro.hpc.shm`:
+large read-only payloads (the YET, stacked kernels) live in
+``multiprocessing.shared_memory`` segments and cross process boundaries
+as ~100-byte handles instead of pickled replicas.
 """
 
+from repro.hpc.shm import SharedArena, ShmArrayHandle, ShmSlab, shm_available
 from repro.hpc.memory import MemorySpace, TransferLedger
 from repro.hpc.device import DeviceProperties, SimulatedGpu
 from repro.hpc.kernel import Kernel, LaunchStats
@@ -27,6 +34,10 @@ from repro.hpc.occupancy import OccupancyLimits, OccupancyResult, occupancy
 from repro.hpc.elasticity import DemandPhase, ProvisioningPlan, compare_provisioning
 
 __all__ = [
+    "SharedArena",
+    "ShmArrayHandle",
+    "ShmSlab",
+    "shm_available",
     "MemorySpace",
     "TransferLedger",
     "DeviceProperties",

@@ -10,6 +10,16 @@ across calls; :meth:`WorkPool.close` (or the context manager) is the
 shutdown path.  :meth:`WorkPool.starmap_shared` ships one large shared
 object (e.g. a stacked portfolio kernel) to each worker exactly once per
 call via the pool initializer instead of re-pickling it per task.
+
+**Shared-memory transport.**  The shared object may instead be a tiny
+*shipment*: any object exposing ``__shm_resolve__()`` (see
+:mod:`repro.hpc.shm`) pickles as a few hundred bytes of segment handles,
+and each worker resolves it — attaching the shared-memory segments as
+zero-copy views — lazily on first touch.  Executor cycling and
+broken-pool recovery then re-send only the handles, never the payload:
+:attr:`WorkPool.payload_ships` counts how often a shared object actually
+crossed the initializer so callers (and the E15 bench) can assert the
+steady state ships nothing.
 """
 
 from __future__ import annotations
@@ -19,6 +29,12 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence
 
 __all__ = ["WorkPool", "available_parallelism"]
+
+
+def _resolve(shared):
+    """A shipment resolves to its payload; anything else passes through."""
+    resolver = getattr(shared, "__shm_resolve__", None)
+    return resolver() if resolver is not None else shared
 
 
 def available_parallelism() -> int:
@@ -39,7 +55,7 @@ def _install_shared(value) -> None:
 
 
 def _call_shared(fn: Callable, *args):
-    return fn(_SHARED, *args)
+    return fn(_resolve(_SHARED), *args)
 
 
 def _noop(_i: int) -> None:
@@ -70,6 +86,11 @@ class WorkPool:
         #: The object the current executor's workers were initialised
         #: with (via :meth:`starmap_shared`); ``None`` = no initializer.
         self._shared: object | None = None
+        #: Times a shared object was delivered through an executor
+        #: build.  For a handle-backed shipment each delivery is a few
+        #: hundred bytes; for a plain object it is the full pickle.  A
+        #: caller holding one shipment across runs sees this stay at 1.
+        self.payload_ships = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -85,7 +106,9 @@ class WorkPool:
 
         A broken executor (a worker died mid-task) is also cycled, so a
         lost worker costs one call, not the pool's lifetime — matching
-        the old per-call executors' recovery behaviour.
+        the old per-call executors' recovery behaviour.  When ``shared``
+        is a handle-backed shipment that cycle re-sends handles, not the
+        payload: fresh workers re-attach the still-live segments.
         """
         if self._executor is not None and (
             getattr(self._executor, "_broken", False)
@@ -94,6 +117,8 @@ class WorkPool:
             self.close()
         if self._executor is None:
             self._shared = shared
+            if shared is not None:
+                self.payload_ships += 1
             self._executor = ProcessPoolExecutor(
                 max_workers=self.n_workers,
                 initializer=_install_shared if shared is not None else None,
@@ -156,11 +181,17 @@ class WorkPool:
         transport for a large read-only object fanned out over many small
         tasks (the multicore engine ships its stacked portfolio kernel
         this way: once per run at most, and zero times on repeat runs
-        with the same cached kernel).
+        with the same cached kernel).  A ``shared`` exposing
+        ``__shm_resolve__()`` is a shared-memory shipment: the
+        initializer delivers only its handles and workers attach the
+        payload as zero-copy views on first touch (serial pools resolve
+        it inline, which shipments make free by pre-binding their local
+        payload).
         """
         tuples = list(arg_tuples)
         if self.n_workers == 1 or len(tuples) <= 1:
-            return [fn(shared, *args) for args in tuples]
+            local = _resolve(shared)
+            return [fn(local, *args) for args in tuples]
         pool = self._executor_handle(shared=shared)
         futures = [pool.submit(_call_shared, fn, *args) for args in tuples]
         return [f.result() for f in futures]

@@ -20,7 +20,8 @@ cache        content-addressed results keyed by (YET fingerprint, layer
 admission    SLO-aware accept/shed decisions driven by the HPC cost
              model, continuously recalibrated from observed batches
 dispatch     batch execution substrates: inline vectorized sweep or
-             trial-block decomposition over a worker pool
+             trial-block decomposition over a worker pool fed by the
+             zero-copy shared-memory data plane (pickle fallback)
 service      the :class:`PricingService` facade — submit/quote/ep_curve,
              YET lifecycle, stats — that RealTimePricer runs on
 ===========  ============================================================

@@ -35,3 +35,21 @@ def small_portfolio_workload():
         n_layers=3, n_trials=300, mean_events_per_trial=30.0,
         elts_per_layer=2, elt_rows=120, catalog_events=600, seed=101,
     )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_leaked_shm_segments():
+    """The whole suite must unlink every shared-memory segment it created.
+
+    Arenas and slabs are owned by engines, dispatchers, and services; a
+    test that forgets to close one would leave its segment in /dev/shm
+    past process exit on a crash.  The atexit safety net hides such
+    leaks from users, so this fixture is where they get caught.
+    """
+    yield
+    from repro.hpc import shm
+
+    leaked = shm.active_segment_names()
+    assert not leaked, (
+        f"shared-memory segments leaked by the suite: {sorted(leaked)}"
+    )

@@ -2,11 +2,19 @@
 
 The E1-E11 runners are the source of EXPERIMENTS.md; these tests keep
 them importable, runnable, and shape-stable without bench-scale cost.
+The tier-2 bench modules that feed ``run_tier2.py`` get the same
+treatment where they carry machinery of their own (E15's transport
+comparison), so the bench cannot rot between perf runs.
 """
+
+import sys
+from pathlib import Path
 
 import pytest
 
 from repro.bench import experiments
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
 
 
 class TestRunners:
@@ -70,3 +78,34 @@ class TestRunners:
             block_trials=10_000, throughput_trials=2_000,
         )
         assert len(report.rows) == 3
+
+
+class TestBenchE15Smoke:
+    """Tiny-shape run of the shm data-plane bench (tier-1 guard)."""
+
+    def test_e15_measures_and_round_trips(self):
+        sys.path.insert(0, str(BENCH_DIR))
+        try:
+            import bench_e15_shm_data_plane as e15
+        finally:
+            sys.path.remove(str(BENCH_DIR))
+        from repro.hpc import shm
+
+        if not shm.shm_available():
+            record = e15.measure(ship_sizes=("small",),
+                                 batch_sizes=("small",), n_batches=1)
+            assert record["shm_available"] is False
+            return
+        tiny = dict(n_layers=2, n_trials=60, mean_events_per_trial=10.0,
+                    elts_per_layer=1, elt_rows=50, catalog_events=200)
+        row = e15.measure_batch_row("tiny", tiny, n_batches=1)
+        # shape-stability: the keys run_tier2 prints and gates on
+        for key in ("kernel_mb", "pickle_batch_seconds", "shm_batch_seconds",
+                    "batch_speedup", "reships_on_repeat", "slab_generations"):
+            assert key in row
+        assert row["reships_on_repeat"] == 0
+        ship = e15.measure_ship_row(
+            "tiny", dict(n_trials=50, mean_events_per_trial=10.0), repeats=1
+        )
+        assert ship["handle_bytes"] < 1024
+        assert ship["shm_reship_seconds"] < ship["pickle_ship_seconds"] * 10

@@ -1,0 +1,322 @@
+"""The zero-copy shared-memory data plane: lifecycle, parity, recovery.
+
+Three invariant families:
+
+- **lifecycle** — arenas and slabs own their segments: handles pickle
+  small, attach as read-only views, and closing the owner unlinks
+  everything (the session-scoped fixture in ``conftest.py`` additionally
+  asserts the whole suite leaks no segments);
+- **parity** — the shm transport changes wall time, never answers:
+  multicore-over-shm is bit-identical to multicore-over-pickle and
+  matches the vectorized engine, likewise the pooled dispatcher;
+- **recovery** — a dead worker breaks the executor, not the data plane:
+  the next run re-ships handles only and re-attaches cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.engines import MulticoreEngine, VectorizedEngine
+from repro.core.kernels import PortfolioKernel
+from repro.core.tables import YetTable
+from repro.errors import ConfigurationError, EngineError
+from repro.hpc import shm
+from repro.serve.dispatch import InlineDispatcher, PooledDispatcher, _ShmYet
+from repro.serve import PricingService
+
+pytestmark = pytest.mark.skipif(
+    not shm.shm_available(), reason="shared memory unavailable on this host"
+)
+
+
+def _tiny_kernel_layer():
+    from repro.core.layer import Layer
+    from repro.core.tables import EltTable
+    from repro.core.terms import LayerTerms
+
+    elt = EltTable.from_arrays(np.arange(50, dtype=np.int64),
+                               np.linspace(1e4, 5e5, 50))
+    return Layer(0, [elt], LayerTerms(occ_retention=1e4))
+
+
+# ---------------------------------------------------------------------------
+# handles and arenas
+# ---------------------------------------------------------------------------
+
+class TestHandles:
+    def test_handle_pickles_small_and_attaches_equal(self):
+        data = np.arange(50_000, dtype=np.float64)
+        with shm.SharedArena() as arena:
+            handle = arena.share(data)
+            wire = pickle.dumps(handle)
+            assert len(wire) < 500, "a handle must pickle as a descriptor"
+            view = pickle.loads(wire).attach()
+            np.testing.assert_array_equal(view, data)
+
+    def test_attached_views_are_read_only(self):
+        with shm.SharedArena() as arena:
+            view = arena.share(np.arange(8.0)).attach()
+            with pytest.raises(ValueError):
+                view[0] = 99.0
+
+    def test_place_packs_many_arrays_into_one_segment(self):
+        a = np.arange(10, dtype=np.int64)
+        b = np.linspace(0.0, 1.0, 17)
+        c = np.arange(6, dtype=np.int32).reshape(2, 3)
+        with shm.SharedArena() as arena:
+            ha, hb, hc = arena.place(a, b, c)
+            assert ha.segment == hb.segment == hc.segment
+            np.testing.assert_array_equal(ha.attach(), a)
+            np.testing.assert_array_equal(hb.attach(), b)
+            np.testing.assert_array_equal(hc.attach(), c)
+            assert hc.attach().shape == (2, 3)
+
+    def test_close_unlinks_owned_segments(self):
+        arena = shm.SharedArena()
+        arena.share(np.arange(4.0))
+        arena.share(np.arange(8.0))
+        assert arena.n_segments == 2
+        assert len(shm.active_segment_names()) >= 2
+        arena.close()
+        arena.close()  # idempotent
+        assert arena.n_segments == 0 or arena.nbytes == 0
+        with pytest.raises(ConfigurationError):
+            arena.share(np.arange(2.0))
+
+    def test_slab_reuses_segment_until_outgrown(self):
+        with shm.ShmSlab(capacity_bytes=1024) as slab:
+            slab.pack(np.arange(16.0))
+            name = slab.segment_name
+            assert slab.generations == 1
+            (h,) = slab.pack(np.arange(32.0))
+            assert slab.segment_name == name, "a fitting payload must reuse"
+            np.testing.assert_array_equal(h.attach(), np.arange(32.0))
+            (h,) = slab.pack(np.arange(50_000.0))
+            assert slab.segment_name != name, "an outgrown slab must roll"
+            assert slab.generations == 2
+            np.testing.assert_array_equal(h.attach(), np.arange(50_000.0))
+        assert slab.segment_name is None
+
+
+# ---------------------------------------------------------------------------
+# table and kernel round-trips
+# ---------------------------------------------------------------------------
+
+class TestRoundTrips:
+    def test_yet_to_shared_from_handles(self, tiny_workload):
+        yet = tiny_workload.yet
+        yet.fingerprint()   # cached → must ride the handles
+        with shm.SharedArena() as arena:
+            handles = pickle.loads(pickle.dumps(yet.to_shared(arena)))
+            again = YetTable.from_handles(handles)
+            assert again.n_trials == yet.n_trials
+            assert again.fingerprint() == yet.fingerprint()
+            np.testing.assert_array_equal(again.trials, yet.trials)
+            np.testing.assert_array_equal(again.event_ids, yet.event_ids)
+            np.testing.assert_array_equal(again.trial_offsets,
+                                          yet.trial_offsets)
+
+    def test_kernel_export_from_handles_bit_identical(
+            self, small_portfolio_workload):
+        wl = small_portfolio_workload
+        kernel = wl.portfolio.kernel()
+        with shm.SharedArena() as arena:
+            handles = pickle.loads(pickle.dumps(kernel.export_handles(arena)))
+            assert handles.nbytes >= kernel.nbytes
+            again = PortfolioKernel.from_handles(handles)
+            assert again.layer_ids == kernel.layer_ids
+            a = kernel.run(wl.yet.trials, wl.yet.event_ids, wl.yet.n_trials)
+            b = again.run(wl.yet.trials, wl.yet.event_ids, wl.yet.n_trials)
+            np.testing.assert_array_equal(a, b)
+
+    def test_mixed_dense_sparse_kernel_round_trip(self, tiny_workload):
+        """dense_max_entries=1 forces sparse lookups; the CSR arrays must
+        survive the handle round-trip like the dense stack does."""
+        wl = tiny_workload
+        kernel = wl.portfolio.kernel(dense_max_entries=1)
+        assert kernel.n_sparse > 0
+        with shm.SharedArena() as arena:
+            again = PortfolioKernel.from_handles(kernel.export_handles(arena))
+            a = kernel.run(wl.yet.trials, wl.yet.event_ids, wl.yet.n_trials)
+            b = again.run(wl.yet.trials, wl.yet.event_ids, wl.yet.n_trials)
+            np.testing.assert_array_equal(a, b)
+
+
+# ---------------------------------------------------------------------------
+# engine / dispatcher parity
+# ---------------------------------------------------------------------------
+
+class TestTransportParity:
+    def test_multicore_shm_matches_pickle_and_vectorized(
+            self, small_portfolio_workload):
+        wl = small_portfolio_workload
+        ref = VectorizedEngine().run(wl.portfolio, wl.yet)
+        with MulticoreEngine(n_workers=2) as shm_eng:
+            via_shm = shm_eng.run(wl.portfolio, wl.yet)
+            assert via_shm.details["transport"] == "shm"
+        with MulticoreEngine(n_workers=2, transport="pickle") as pkl_eng:
+            via_pickle = pkl_eng.run(wl.portfolio, wl.yet)
+            assert via_pickle.details["transport"] == "pickle"
+        np.testing.assert_array_equal(
+            via_shm.portfolio_ylt.losses, via_pickle.portfolio_ylt.losses,
+            err_msg="transports must be bit-identical",
+        )
+        assert via_shm.portfolio_ylt.allclose(ref.portfolio_ylt)
+
+    def test_multicore_repeat_runs_ship_zero_payloads(
+            self, small_portfolio_workload):
+        wl = small_portfolio_workload
+        with MulticoreEngine(n_workers=2) as engine:
+            engine.run(wl.portfolio, wl.yet)
+            ships = engine.pool.payload_ships
+            engine.run(wl.portfolio, wl.yet)
+            engine.run(wl.portfolio, wl.yet)
+            assert engine.pool.payload_ships == ships, (
+                "repeat runs with an unchanged kernel and YET must not "
+                "re-deliver the shared payload"
+            )
+
+    def test_pooled_dispatcher_shm_matches_inline_and_pickle(
+            self, small_portfolio_workload):
+        wl = small_portfolio_workload
+        kernel = wl.portfolio.kernel()
+        oracle = InlineDispatcher().run(kernel, wl.yet)
+        with PooledDispatcher(n_workers=2) as d:
+            via_shm = d.run(kernel, wl.yet)
+        with PooledDispatcher(n_workers=2, transport="pickle") as d:
+            via_pickle = d.run(kernel, wl.yet)
+        np.testing.assert_array_equal(via_shm, via_pickle)
+        np.testing.assert_allclose(via_shm, oracle, rtol=1e-9, atol=1e-6)
+
+    def test_equal_resimulated_yet_does_not_reship(self, rng):
+        """The bundle keys on content fingerprint, not object identity:
+        swapping in an equal re-simulated YET must ship nothing."""
+        ids = np.arange(500, dtype=np.int64)
+        rates = np.full(500, 1.0 / 500)
+        make = lambda: YetTable.simulate(ids, rates, 200,
+                                         np.random.default_rng(3),
+                                         mean_events_per_trial=20.0)
+        yet_a, yet_b = make(), make()
+        assert yet_a is not yet_b
+        layer = _tiny_kernel_layer()
+        kernel = PortfolioKernel.from_layers([layer], layer_ids=[0])
+        with PooledDispatcher(n_workers=2) as d:
+            first = d.run(kernel, yet_a)
+            ships = d.pool.payload_ships
+            second = d.run(kernel, yet_b)
+            assert d.pool.payload_ships == ships
+            np.testing.assert_array_equal(first, second)
+
+    def test_pooled_dispatcher_through_service(self, small_portfolio_workload):
+        """End-to-end: a pooled service on the shm plane quotes the same
+        premiums as the inline service."""
+        wl = small_portfolio_workload
+        layers = list(wl.portfolio)
+        with PricingService(wl.yet, engine=PooledDispatcher(n_workers=2)) as svc:
+            svc.warmup()
+            pooled = svc.quote_many(layers)
+        with PricingService(wl.yet) as svc:
+            inline = svc.quote_many(layers)
+        for a, b in zip(pooled, inline):
+            assert a.premium == pytest.approx(b.premium, rel=1e-9)
+
+    def test_explicit_shm_transport_unavailable_raises(self, monkeypatch,
+                                                       tiny_workload):
+        monkeypatch.setattr(shm, "_AVAILABLE", False)
+        with MulticoreEngine(n_workers=2, transport="shm") as engine:
+            with pytest.raises(EngineError, match="unavailable"):
+                engine.run(tiny_workload.portfolio, tiny_workload.yet)
+
+    def test_auto_transport_falls_back_without_shm(self, monkeypatch,
+                                                   tiny_workload):
+        monkeypatch.setattr(shm, "_AVAILABLE", False)
+        ref = VectorizedEngine().run(tiny_workload.portfolio, tiny_workload.yet)
+        with MulticoreEngine(n_workers=2) as engine:
+            res = engine.run(tiny_workload.portfolio, tiny_workload.yet)
+        assert res.details["transport"] == "pickle"
+        assert res.portfolio_ylt.allclose(ref.portfolio_ylt)
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(EngineError):
+            MulticoreEngine(transport="carrier-pigeon")
+        with pytest.raises(ConfigurationError):
+            PooledDispatcher(transport="carrier-pigeon")
+
+    def test_yet_swap_retires_arena_instead_of_unlinking(
+            self, small_portfolio_workload, rng):
+        """Swapping trial sets must not unlink the old YET's segments
+        mid-flight: a batch staged just before the swap may still be
+        delivering the old handles to a fresh worker.  Old arenas retire
+        until close()."""
+        wl = small_portfolio_workload
+        kernel = wl.portfolio.kernel()
+        ids = np.arange(500, dtype=np.int64)
+        other_yet = YetTable.simulate(ids, np.full(500, 1 / 500), 150, rng,
+                                      mean_events_per_trial=15.0)
+        d = PooledDispatcher(n_workers=2)
+        try:
+            d.run(kernel, wl.yet)
+            first = d._shared
+            d.run(kernel, other_yet)
+            assert len(d._yet_arenas) == 2
+            # the first shipment's segments must still attach
+            assert isinstance(first, _ShmYet)
+            trials, _ = pickle.loads(pickle.dumps(first)).__shm_resolve__()
+            np.testing.assert_array_equal(trials, wl.yet.trials)
+            # a third trial set frees the oldest retiree: the held
+            # footprint is bounded at current + one predecessor
+            third = YetTable.simulate(ids, np.full(500, 1 / 500), 100, rng,
+                                      mean_events_per_trial=10.0)
+            d.run(kernel, third)
+            assert len(d._yet_arenas) == 2
+        finally:
+            d.close()
+        assert not d._yet_arenas
+
+
+# ---------------------------------------------------------------------------
+# worker death and recovery
+# ---------------------------------------------------------------------------
+
+def _die(_shared, _i: int):  # pragma: no cover - runs in a worker
+    os._exit(17)
+
+
+class TestRecovery:
+    def test_engine_recovers_and_reattaches_after_worker_death(
+            self, small_portfolio_workload):
+        from concurrent.futures.process import BrokenProcessPool
+
+        wl = small_portfolio_workload
+        with MulticoreEngine(n_workers=2) as engine:
+            before = engine.run(wl.portfolio, wl.yet)
+            ships = engine.pool.payload_ships
+            shipment = engine._staged[2]
+            with pytest.raises(BrokenProcessPool):
+                engine.pool.starmap_shared(_die, shipment, [(i,) for i in range(4)])
+            after = engine.run(wl.portfolio, wl.yet)
+            np.testing.assert_array_equal(before.portfolio_ylt.losses,
+                                          after.portfolio_ylt.losses)
+            # recovery re-sent handles (one more executor build), not a
+            # fresh placement: the staged arena is untouched
+            assert engine.pool.payload_ships == ships + 1
+            assert engine._staged[2] is shipment
+
+    def test_dispatcher_recovers_after_worker_death(
+            self, small_portfolio_workload):
+        from concurrent.futures.process import BrokenProcessPool
+
+        wl = small_portfolio_workload
+        kernel = wl.portfolio.kernel()
+        with PooledDispatcher(n_workers=2) as d:
+            before = d.run(kernel, wl.yet)
+            with pytest.raises(BrokenProcessPool):
+                d.pool.starmap_shared(_die, d._bundle(wl.yet),
+                                      [(i,) for i in range(4)])
+            after = d.run(kernel, wl.yet)
+            np.testing.assert_array_equal(before, after)
