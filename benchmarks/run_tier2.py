@@ -3,15 +3,17 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/run_tier2.py [--full] [--out-dir DIR]
-                                                  [--only {e13,e14,e15}]
+                                                  [--only {e13,e14,e15,e16}]
 
-Three trajectory records are refreshed:
+Four trajectory records are refreshed:
 
 - ``BENCH_e13.json`` — the fused portfolio kernel vs the per-layer path;
 - ``BENCH_e14.json`` — the serving layer's micro-batched pricing vs one
   sweep per request;
 - ``BENCH_e15.json`` — the zero-copy shared-memory data plane vs the
-  pickle ship on the pooled dispatch path.
+  pickle ship on the pooled dispatch path;
+- ``BENCH_e16.json`` — one staged ``RiskSession`` vs per-call entry-point
+  construction across a mixed aggregate + quote + EP-curve workload.
 
 The default (small) sizes finish in seconds so every PR can refresh the
 trajectory and compare against the committed records; ``--full`` runs
@@ -30,6 +32,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 import bench_e13_fused_portfolio as e13
 import bench_e14_serving as e14
 import bench_e15_shm_data_plane as e15
+import bench_e16_session_reuse as e16
 
 #: Reduced shape for the per-PR tier-2 run: same layer counts, ~8x fewer
 #: occurrences, so the trajectory stays comparable but cheap.
@@ -136,8 +139,38 @@ def run_e15(full: bool, out_dir: Path | None, repeats: int) -> int:
     return status
 
 
+def run_e16(full: bool, out_dir: Path | None, repeats: int) -> int:
+    sizes = ("small", "medium", "large") if full else ("small", "medium")
+    record = e16.measure(sizes=sizes, repeats=repeats)
+    record["tier"] = "full" if full else "small"
+    path = e16.write_json(
+        record, out_dir / "BENCH_e16.json" if out_dir else None
+    )
+
+    print(f"wrote {path}")
+    print(f"{'size':>7} {'per-call':>11} {'session':>11} {'speedup':>8} "
+          f"{'ships':>6}")
+    for r in record["rows"]:
+        print(f"{r['size']:>7} {r['baseline_seconds']*1e3:>9.1f}ms "
+              f"{r['session_seconds']*1e3:>9.1f}ms "
+              f"{r['speedup']:>7.2f}x {r['session_payload_ships']:>6}")
+
+    medium = next(r for r in record["rows"] if r["size"] == "medium")
+    status = 0
+    if medium["speedup"] < 2.0:
+        print(f"WARNING: e16 session-reuse speedup at the medium shape is "
+              f"{medium['speedup']:.2f}x (bar: 2x)", file=sys.stderr)
+        status = 1
+    if any(r["session_payload_ships"] > 1 for r in record["rows"]):
+        print("WARNING: e16 observed more than one payload ship through a "
+              "staged session", file=sys.stderr)
+        status = 1
+    return status
+
+
 #: Experiment registry for ``--only`` (insertion order = run order).
-EXPERIMENTS = {"e13": run_e13, "e14": run_e14, "e15": run_e15}
+EXPERIMENTS = {"e13": run_e13, "e14": run_e14, "e15": run_e15,
+               "e16": run_e16}
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,9 +1,11 @@
 """Quickstart: price a reinsurance portfolio end to end in ~30 lines.
 
 Builds a synthetic book (one layer over 15 ELTs, the companion study's
-shape), simulates 20k trial years, runs aggregate analysis on the
-vectorised engine, and prints the regulator report (PML / VaR / TVaR
-ladders) of §II.
+shape), simulates 20k trial years, and opens ONE :class:`repro.RiskSession`
+over the trial set — the staged entry point every workload shares.  The
+session plans the execution substrate (``engine="auto"`` through the HPC
+cost model; the plan explains itself), runs the aggregate analysis, and
+prints the regulator report (PML / VaR / TVaR ladders) of §II.
 
 Run:  python examples/quickstart.py
 """
@@ -13,17 +15,32 @@ import repro
 # A canonical workload: 1 layer x 15 ELTs, ~1000 events per trial year.
 workload = repro.bench.companion_study_workload(n_trials=20_000)
 
-# Stage 2: aggregate analysis (YET x portfolio -> YLT).
-analysis = repro.AggregateAnalysis(workload.portfolio, workload.yet)
-result = analysis.run("vectorized")
+# One session binds the YET ("a consistent lens through which to view
+# results") once; aggregate runs, quotes, and EP curves all sweep data
+# that is already staged.
+with repro.RiskSession(workload.yet, workload.portfolio) as session:
+    # Stage 2: aggregate analysis.  engine="auto" lets the cost-model
+    # planner pick the substrate — and show its working.
+    result = session.aggregate()
+    print(result.details["plan"].explain())
+    print()
+    print(f"engine:               {result.engine}")
+    print(f"trials simulated:     {result.portfolio_ylt.n_trials:,}")
+    print(f"wall time:            {result.seconds * 1e3:.1f} ms")
+    print(f"throughput:           {result.trials_per_second():,.0f} trials/s")
+    print(f"expected annual loss: {result.expected_annual_loss():,.0f}")
+    print()
 
-print(f"engine:               {result.engine}")
-print(f"trials simulated:     {result.portfolio_ylt.n_trials:,}")
-print(f"wall time:            {result.seconds * 1e3:.1f} ms")
-print(f"throughput:           {result.trials_per_second():,.0f} trials/s")
-print(f"expected annual loss: {result.expected_annual_loss():,.0f}")
-print()
+    # The same staged trial set answers follow-on questions for free:
+    # the whole EP surface costs one more sweep...
+    curves, total = session.ep_curves()
+    print(f"portfolio 1-in-100 loss: {total.loss_at_return_period(100):,.0f}")
+    # ...and a quote against the same lens is a cache-backed sweep away.
+    quote = session.quote(workload.portfolio.layers[0])
+    print(f"layer technical premium: {quote.premium:,.0f} "
+          f"({quote.latency_seconds * 1e3:.0f} ms quote latency)")
+    print()
 
-# Stage 3: the §II metrics, reported regulator-style.
-metrics = repro.RiskMetrics.from_ylt(result.portfolio_ylt)
-print(repro.regulator_report(metrics, title="Quickstart portfolio"))
+    # Stage 3: the §II metrics, reported regulator-style.
+    metrics = repro.RiskMetrics.from_ylt(result.portfolio_ylt)
+    print(repro.regulator_report(metrics, title="Quickstart portfolio"))

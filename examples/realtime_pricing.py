@@ -1,10 +1,14 @@
 """Real-time layer pricing — the §II "25 seconds → real-time" workflow.
 
 An underwriter considers several attachment points for a new excess-of-
-loss layer.  Each candidate is priced against the shared, pre-simulated
-YET ("a consistent lens through which to view results"), and the quote
-latency is reported — the workflow the paper argues becomes *real-time*
-once a million-trial simulation takes tens of seconds.
+loss layer.  All candidates are priced through one
+:class:`repro.RiskSession` over the shared, pre-simulated YET ("a
+consistent lens through which to view results"): the session stages the
+trial set once, coalesces the what-if sweep into a single stacked-kernel
+pass, and the same staged substrate then answers the follow-up EP-curve
+question without re-binding anything — the workflow the paper argues
+becomes *real-time* once a million-trial simulation takes tens of
+seconds.
 
 Run:  python examples/realtime_pricing.py
 """
@@ -17,7 +21,6 @@ from repro.util.tables import render_table
 # The shared trial set and a candidate book (one contract's ELT).
 workload = repro.bench.typical_contract_workload(n_trials=100_000)
 base_layer = workload.portfolio.layers[0]
-pricer = repro.RealTimePricer(workload.yet)
 
 # Candidate structures: rising attachment, fixed limit.
 mean_loss = 5e5
@@ -32,37 +35,43 @@ for i, retention_multiple in enumerate((1.0, 2.0, 4.0, 8.0, 16.0)):
     )
     candidates.append(repro.Layer(100 + i, base_layer.elts, terms))
 
-# A pricing service is long-lived: its one-off startup (worker spawn,
-# YET fingerprinting) is paid before the first client, not per quote.
-pricer.service.warmup()
+with repro.RiskSession(workload.yet, workload.portfolio) as session:
+    # A session is long-lived: its one-off startup (worker spawn, YET
+    # staging/fingerprinting) is paid before the first client, not per
+    # quote.  warmup() makes that explicit.
+    session.warmup()
 
-t0 = time.perf_counter()
-quotes = pricer.quote_sweep(candidates)
-sweep_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    quotes = session.quote_many(candidates)   # ONE coalesced sweep
+    sweep_wall = time.perf_counter() - t0
 
-rows = []
-for layer, quote in zip(candidates, quotes):
-    rows.append([
-        f"{layer.terms.occ_retention:,.0f}",
-        f"{quote.expected_loss:,.0f}",
-        f"{quote.premium:,.0f}",
-        f"{quote.rate_on_line:.2%}",
-        f"{quote.latency_seconds * 1e3:.0f} ms",
-        f"{quote.trials_per_second:,.0f}",
-    ])
-print(render_table(
-    ["attachment", "expected loss", "premium", "rate-on-line",
-     "quote latency", "trials/s"],
-    rows,
-    title=f"What-if pricing over {workload.yet.n_trials:,} shared trials",
-))
+    rows = []
+    for layer, quote in zip(candidates, quotes):
+        rows.append([
+            f"{layer.terms.occ_retention:,.0f}",
+            f"{quote.expected_loss:,.0f}",
+            f"{quote.premium:,.0f}",
+            f"{quote.rate_on_line:.2%}",
+            f"{quote.latency_seconds * 1e3:.0f} ms",
+            f"{quote.trials_per_second:,.0f}",
+        ])
+    print(render_table(
+        ["attachment", "expected loss", "premium", "rate-on-line",
+         "quote latency", "trials/s"],
+        rows,
+        title=f"What-if pricing over {workload.yet.n_trials:,} shared trials",
+    ))
 
-# quote_sweep coalesces every candidate into ONE stacked-kernel sweep
-# via the serving layer, so the wall time for all five is roughly one
-# YET pass — per-quote latencies overlap rather than add.
-sweeps = pricer.service.stats.sweeps
-per_million = sweep_wall * (1_000_000 / workload.yet.n_trials)
-print(f"\n{len(candidates)} structures quoted in {sweep_wall:.1f}s wall "
-      f"({sweeps} fused sweep{'s' if sweeps != 1 else ''});")
-print(f"extrapolated 1M-trial sweep of all five: {per_million:.1f}s "
-      "(paper: ~25 s for ONE structure on a 2012 GPU)")
+    # quote_many coalesces every candidate into ONE stacked-kernel sweep
+    # via the serving layer, so the wall time for all five is roughly one
+    # YET pass — per-quote latencies overlap rather than add.
+    per_million = sweep_wall * (1_000_000 / workload.yet.n_trials)
+    print(f"\n{len(candidates)} structures quoted in {sweep_wall:.1f}s wall;")
+    print(f"extrapolated 1M-trial sweep of all five: {per_million:.1f}s "
+          "(paper: ~25 s for ONE structure on a 2012 GPU)")
+
+    # The chosen structure's tail, off the same staged trial set: a
+    # cached EP curve, not a new binding.
+    curve = session.ep_curve(candidates[2])
+    print(f"\nchosen structure 1-in-250 loss: "
+          f"{curve.loss_at_return_period(250):,.0f}")

@@ -17,22 +17,49 @@ pipeline and the substrates it runs on:
   hierarchy, simulated cluster with collectives, cost model);
 - :mod:`repro.serve` — the serving layer (request micro-batching into
   fused sweeps, content-addressed result cache, SLO admission control)
-  that turns stage-2 speed into many-user pricing throughput.
+  that turns stage-2 speed into many-user pricing throughput;
+- :mod:`repro.session` — the staged entry point: a
+  :class:`~repro.session.RiskSession` binds the YET once, stages it
+  through the shared-memory data plane, and runs every stage-2/3
+  workload (aggregate runs, quotes, EP curves, sensitivities) over that
+  one staged substrate, with ``engine="auto"`` resolved by a cost-model
+  planner whose :class:`~repro.session.ExecutionPlan` explains itself.
 
 Quickstart::
 
     import repro
     wl = repro.bench.companion_study_workload(n_trials=10_000)
-    result = repro.AggregateAnalysis(wl.portfolio, wl.yet).run("vectorized")
-    print(repro.regulator_report(repro.RiskMetrics.from_ylt(result.portfolio_ylt)))
+    with repro.RiskSession(wl.yet, wl.portfolio) as session:
+        result = session.aggregate()              # engine="auto", planned
+        print(result.details["plan"].explain())   # why that substrate
+        quotes = session.quote_many(list(wl.portfolio))  # same staged YET
+        print(repro.regulator_report(
+            repro.RiskMetrics.from_ylt(result.portfolio_ylt)))
+
+The classic entry points (:class:`~repro.core.simulation.AggregateAnalysis`,
+:class:`~repro.serve.service.PricingService`,
+:class:`~repro.dfa.pricing.RealTimePricer`) keep working and accept
+``session=`` to share one staged substrate.
 """
 
-from repro import analytics, bench, catmod, core, data, dfa, hpc, serve, util
+from repro import (
+    analytics,
+    bench,
+    catmod,
+    core,
+    data,
+    dfa,
+    hpc,
+    serve,
+    session,
+    util,
+)
 from repro.config import DEFAULTS, ReproConfig
 from repro.core import (
     AggregateAnalysis,
     AnalysisResult,
     EltTable,
+    EngineSpec,
     Layer,
     LayerTerms,
     LossLookup,
@@ -58,6 +85,7 @@ from repro.dfa import (
 )
 from repro.errors import ReproError
 from repro.serve import BatchPolicy, CachePolicy, PricingService
+from repro.session import ExecutionPlan, RiskSession
 from repro.util.rng import RngHierarchy
 
 __version__ = "1.0.0"
@@ -71,12 +99,14 @@ __all__ = [
     "dfa",
     "hpc",
     "serve",
+    "session",
     "util",
     "DEFAULTS",
     "ReproConfig",
     "AggregateAnalysis",
     "AnalysisResult",
     "EltTable",
+    "EngineSpec",
     "Layer",
     "LayerTerms",
     "LossLookup",
@@ -101,6 +131,8 @@ __all__ = [
     "PricingService",
     "BatchPolicy",
     "CachePolicy",
+    "RiskSession",
+    "ExecutionPlan",
     "RngHierarchy",
     "__version__",
 ]

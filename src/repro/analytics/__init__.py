@@ -1,6 +1,11 @@
 """Shared analytics: exceedance curves, convergence, engine comparison."""
 
-from repro.analytics.ep_curves import EpCurve, aep_curve, oep_curve
+from repro.analytics.ep_curves import (
+    EpCurve,
+    aep_curve,
+    oep_curve,
+    portfolio_ep_curves,
+)
 from repro.analytics.convergence import ConvergenceDiagnostics
 from repro.analytics.comparison import assert_engines_equivalent, compare_engines
 from repro.analytics.sensitivity import term_sensitivities
@@ -9,6 +14,7 @@ __all__ = [
     "EpCurve",
     "oep_curve",
     "aep_curve",
+    "portfolio_ep_curves",
     "ConvergenceDiagnostics",
     "compare_engines",
     "assert_engines_equivalent",

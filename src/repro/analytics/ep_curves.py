@@ -18,7 +18,7 @@ import numpy as np
 from repro.core.tables import YeltTable, YltTable
 from repro.errors import AnalysisError
 
-__all__ = ["EpCurve", "oep_curve", "aep_curve"]
+__all__ = ["EpCurve", "oep_curve", "aep_curve", "portfolio_ep_curves"]
 
 
 class EpCurve:
@@ -85,6 +85,21 @@ class EpCurve:
 def aep_curve(ylt: YltTable) -> EpCurve:
     """Aggregate EP curve from a year-loss table."""
     return EpCurve(ylt.losses)
+
+
+def portfolio_ep_curves(
+    ylt_by_layer: dict[int, YltTable], portfolio_ylt: YltTable,
+) -> tuple[dict[int, EpCurve], EpCurve]:
+    """Per-layer AEP curves plus the portfolio curve from one analysis.
+
+    The whole EP surface of a book costs one aggregate run: the staged
+    session exposes this as ``session.ep_curves()``.  Because the
+    portfolio YLT is the trial-aligned sum of non-negative layer YLTs,
+    the returned portfolio curve dominates every per-layer curve — a
+    property-tested invariant.
+    """
+    by_layer = {lid: aep_curve(ylt) for lid, ylt in ylt_by_layer.items()}
+    return by_layer, aep_curve(portfolio_ylt)
 
 
 def oep_curve(yelt: YeltTable) -> EpCurve:

@@ -39,6 +39,8 @@ def term_sensitivities(
     bump_fraction: float = 0.05,
     engine: str | Engine = "vectorized",
     terms: tuple[str, ...] = _BUMPABLE,
+    *,
+    session=None,
 ) -> dict[str, float]:
     """d(statistic)/d(term) per unit of term, by one-sided differences.
 
@@ -48,14 +50,32 @@ def term_sensitivities(
 
     Returns ``{term: slope}``; a negative slope on ``occ_retention``
     (raising the attachment cheapens the layer) is the sanity check.
+
+    With a :class:`~repro.session.RiskSession` passed as ``session``,
+    ``engine`` (a name, or ``"auto"`` for the planner's choice) resolves
+    to a *warm, session-owned* engine: the whole bump sweep reuses one
+    staged substrate and the session tears it down, not this function.
     """
     if not (0.0 < bump_fraction < 1.0):
         raise AnalysisError("bump_fraction must lie in (0, 1)")
     # An engine built here is also torn down here (worker pools, staged
     # shared memory); caller-provided instances keep their resources —
-    # a sweep of many sensitivities should pass one warm engine in.
-    owned = isinstance(engine, str)
-    eng = get_engine(engine) if owned else engine
+    # a sweep of many sensitivities should pass one warm engine in (or a
+    # session, which owns and reuses its engines across sweeps).
+    if session is not None:
+        if session.yet is not yet:
+            # A session-owned staged engine keys its arena by YET
+            # fingerprint; sweeping a foreign trial set through it would
+            # silently re-stage per bump and void the ship-once
+            # invariant — same guard as the other session veneers.
+            raise AnalysisError(
+                "session is bound to a different YET than this sweep"
+            )
+        owned = False
+        eng = session.engine(engine)
+    else:
+        owned = isinstance(engine, str)
+        eng = get_engine(engine) if owned else engine
 
     def run(l: Layer) -> float:
         res = eng.run(Portfolio([l]), yet)

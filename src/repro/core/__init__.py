@@ -33,7 +33,12 @@ from repro.core.lookup import LossLookup
 from repro.core.layer import Layer
 from repro.core.portfolio import Portfolio
 from repro.core.simulation import AggregateAnalysis, AnalysisResult
-from repro.core.engines import available_engines, get_engine
+from repro.core.engines import (
+    EngineSpec,
+    available_engines,
+    engine_spec,
+    get_engine,
+)
 from repro.core.engines.outofcore import OutOfCoreEngine
 from repro.core.uncertainty import (
     SecondaryUncertainty,
@@ -65,7 +70,9 @@ __all__ = [
     "Portfolio",
     "AggregateAnalysis",
     "AnalysisResult",
+    "EngineSpec",
     "available_engines",
+    "engine_spec",
     "get_engine",
     "OutOfCoreEngine",
     "SecondaryUncertainty",

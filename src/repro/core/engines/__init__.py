@@ -41,6 +41,14 @@ fused-vs-per-layer sweep).
 """
 
 from repro.core.engines.base import Engine, EngineResult
+from repro.core.engines.registry import (
+    EngineSpec,
+    auto_candidates,
+    available_engines,
+    engine_spec,
+    get_engine,
+    register_engine,
+)
 from repro.core.engines.sequential import SequentialEngine
 from repro.core.engines.vectorized import VectorizedEngine
 from repro.core.engines.device import DeviceEngine
@@ -52,37 +60,62 @@ from repro.errors import EngineError
 __all__ = [
     "Engine",
     "EngineResult",
+    "EngineSpec",
     "SequentialEngine",
     "VectorizedEngine",
     "DeviceEngine",
     "MulticoreEngine",
     "MapReduceEngine",
     "DistributedEngine",
+    "auto_candidates",
     "available_engines",
+    "engine_spec",
     "get_engine",
+    "register_engine",
 ]
 
-_REGISTRY = {
-    "sequential": SequentialEngine,
-    "vectorized": VectorizedEngine,
-    "device": DeviceEngine,
-    "multicore": MulticoreEngine,
-    "mapreduce": MapReduceEngine,
-    "distributed": DistributedEngine,
-}
-
-
-def available_engines() -> list[str]:
-    """Names accepted by :func:`get_engine`."""
-    return sorted(_REGISTRY)
-
-
-def get_engine(name: str, **kwargs) -> Engine:
-    """Construct an engine by registry name."""
-    try:
-        cls = _REGISTRY[name]
-    except KeyError:
-        raise EngineError(
-            f"unknown engine {name!r}; available: {available_engines()}"
-        ) from None
-    return cls(**kwargs)
+# The declarative registry (see :mod:`repro.core.engines.registry`):
+# one capability record per engine, read by ``get_engine`` (factory),
+# the session (stateful / emit_yelt gates), and the planner (cost-model
+# hooks that resolve ``engine="auto"``).  Throughput seeds are
+# order-of-magnitude priors; the planner replaces them with measured
+# rates after the first observed run.
+register_engine(EngineSpec(
+    name="sequential", factory=SequentialEngine,
+    summary="pure-Python scalar loop — the paper's sequential counterpart "
+            "and the numerical oracle",
+    parallelism="serial", supports_emit_yelt=True,
+    lane_throughput=3e5,
+))
+register_engine(EngineSpec(
+    name="vectorized", factory=VectorizedEngine,
+    summary="whole-array NumPy over the fused portfolio kernel",
+    parallelism="vector", supports_emit_yelt=True, auto_candidate=True,
+    lane_throughput=2.5e7,
+))
+register_engine(EngineSpec(
+    name="device", factory=DeviceEngine,
+    summary="simulated GPU with chunking and constant-memory placement",
+    parallelism="simulated-device", supports_emit_yelt=True,
+    lane_throughput=8e6,
+))
+register_engine(EngineSpec(
+    name="multicore", factory=MulticoreEngine,
+    summary="trial-block process pool over the zero-copy shm data plane",
+    parallelism="process-pool", stateful=True, shm_transport=True,
+    auto_candidate=True,
+    lane_throughput=2.2e7, parallel_fraction=0.92,
+    comm_overhead_per_proc_s=0.01, startup_seconds=0.35,
+))
+register_engine(EngineSpec(
+    name="mapreduce", factory=MapReduceEngine,
+    summary="MapReduce job over the simulated DFS",
+    parallelism="simulated-mapreduce",
+    lane_throughput=2e6,
+))
+register_engine(EngineSpec(
+    name="distributed", factory=DistributedEngine,
+    summary="trial-scatter / lookup-broadcast / YLT-gather over SimCluster",
+    parallelism="simulated-cluster",
+    lane_throughput=4e6,
+))

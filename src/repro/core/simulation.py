@@ -1,10 +1,19 @@
 """The aggregate-analysis orchestrator.
 
-:class:`AggregateAnalysis` is the public entry point of stage 2: bind a
-portfolio to a YET, pick an engine (by name or instance), run, and get
-an :class:`AnalysisResult` that adds derived artefacts — per-layer and
-portfolio YLTs, optional YELTs, expected losses, and the size accounting
-(E1/E2) — on top of the raw engine output.
+:class:`AggregateAnalysis` is the classic entry point of stage 2: bind a
+portfolio to a YET, pick an engine (by name, by instance, or ``"auto"``
+for the planner's choice), run, and get an :class:`AnalysisResult` that
+adds derived artefacts — per-layer and portfolio YLTs, optional YELTs,
+expected losses, and the size accounting (E1/E2) — on top of the raw
+engine output.
+
+Since the session layer landed it is a veneer over
+:class:`~repro.session.RiskSession`: pass ``session=`` to share one
+staged substrate (worker pool, shared-memory arena) with other entry
+points, and :meth:`AggregateAnalysis.run_all` always sweeps through one
+session so pooled engines stage the (kernel, YET) payload once for the
+whole sweep.  Standalone ``run()`` keeps its historical lifecycle —
+engines it constructs are torn down before it returns.
 """
 
 from __future__ import annotations
@@ -71,13 +80,21 @@ class AggregateAnalysis:
         The pre-simulated year-event table (the "consistent lens").
     """
 
-    def __init__(self, portfolio: Portfolio, yet: YetTable) -> None:
+    def __init__(self, portfolio: Portfolio, yet: YetTable, *,
+                 session=None) -> None:
         if not isinstance(portfolio, Portfolio):
             raise EngineError(f"expected Portfolio, got {type(portfolio).__name__}")
         if not isinstance(yet, YetTable):
             raise EngineError(f"expected YetTable, got {type(yet).__name__}")
+        if session is not None and session.yet is not yet:
+            raise EngineError(
+                "session is bound to a different YET than this analysis"
+            )
         self.portfolio = portfolio
         self.yet = yet
+        #: Borrowed staged substrate; ``None`` keeps the classic
+        #: construct-per-run lifecycle.
+        self.session = session
 
     def run(self, engine: str | Engine = "vectorized", *,
             emit_yelt: bool = False, **engine_kwargs) -> AnalysisResult:
@@ -85,10 +102,39 @@ class AggregateAnalysis:
 
         ``engine`` may be a registry name (``"sequential"``,
         ``"vectorized"``, ``"device"``, ``"multicore"``, ``"mapreduce"``,
-        ``"distributed"``) or a pre-built :class:`Engine` instance;
-        ``engine_kwargs`` are passed to the registry constructor.
+        ``"distributed"``), ``"auto"`` to let the planner price the
+        substrates against the data shape, or a pre-built
+        :class:`Engine` instance; ``engine_kwargs`` are passed to the
+        registry constructor.  With a bound session the run reuses its
+        staged engines; standalone runs keep the historical lifecycle
+        (engines constructed here are torn down here).
         """
+        if isinstance(engine, str) and self.session is not None:
+            return self.session.aggregate(
+                self.portfolio, engine=engine, emit_yelt=emit_yelt,
+                **engine_kwargs,
+            )
+        plan = None
         owned = isinstance(engine, str)
+        if owned and engine == "auto":
+            if engine_kwargs:
+                # Constructor kwargs are engine-specific; forwarding them
+                # to whichever engine the planner happens to pick would
+                # either crash or silently misconfigure.  Parallelism is
+                # capped at the session level (RiskSession(n_workers=...)).
+                raise EngineError(
+                    "engine_kwargs require an explicit engine name; "
+                    "engine='auto' chooses its own configuration"
+                )
+            from repro.session.planner import plan_workload
+
+            # The plan constraint set must match this run's request —
+            # emit_yelt excludes engines that cannot emit.
+            plan = plan_workload(
+                self.yet, n_layers=self.portfolio.n_layers,
+                require_emit_yelt=emit_yelt,
+            )
+            engine = plan.engine
         if owned:
             engine = get_engine(engine, **engine_kwargs)
         elif engine_kwargs:
@@ -101,13 +147,23 @@ class AggregateAnalysis:
             # resources for reuse and close themselves.
             if owned and hasattr(engine, "close"):
                 engine.close()
-        return AnalysisResult.from_engine(res)
+        result = AnalysisResult.from_engine(res)
+        if plan is not None:
+            result.details["plan"] = plan
+        return result
 
     def run_all(self, names: list[str] | None = None) -> dict[str, AnalysisResult]:
-        """Run several engines on the same inputs (cross-validation aid)."""
-        from repro.core.engines import available_engines
+        """Run several engines on the same inputs (cross-validation aid).
 
-        results = {}
-        for name in names or available_engines():
-            results[name] = self.run(name)
-        return results
+        The whole sweep goes through ONE session (the bound one, or an
+        ephemeral session closed when the sweep ends): names are
+        validated against the registry before anything runs, and pooled
+        engines stage their (kernel, YET) payload once for the sweep
+        instead of once per engine.
+        """
+        if self.session is not None:
+            return self.session.run_all(names, self.portfolio)
+        from repro.session import RiskSession
+
+        with RiskSession(self.yet, portfolio=self.portfolio) as session:
+            return session.run_all(names)

@@ -44,9 +44,10 @@ class RealTimePricer:
     engine:
         ``"vectorized"`` (default) and ``"multicore"`` run through the
         batched :class:`~repro.serve.service.PricingService` (inline and
-        pooled dispatch respectively).  Any other name or an
-        :class:`~repro.core.engines.Engine` instance prices each quote
-        with a classic single-layer engine run.
+        pooled dispatch respectively); ``"auto"`` lets the backing
+        session's planner pick the dispatch substrate.  Any other name
+        or an :class:`~repro.core.engines.Engine` instance prices each
+        quote with a classic single-layer engine run.
     volatility_loading:
         Multiplier on the annual-loss std-dev added to the premium.
     tail_loading:
@@ -57,20 +58,30 @@ class RealTimePricer:
         :class:`~repro.serve.cache.ResultCache`.  ``CachePolicy(0)``
         disables result caching — what latency benchmarks that re-quote
         one layer need.
+    session:
+        A :class:`~repro.session.RiskSession` to share staged state
+        with: the backing service then borrows the session's dispatcher
+        (one worker pool and shared-memory arena across every workload)
+        instead of staging privately.
     """
 
     def __init__(self, yet: YetTable, engine: str | Engine = "vectorized",
                  volatility_loading: float = 0.25,
                  tail_loading: float = 0.02,
-                 cache=None) -> None:
+                 cache=None, session=None) -> None:
         if volatility_loading < 0 or tail_loading < 0:
             raise AnalysisError("loadings must be non-negative")
+        if session is not None and session.yet is not yet:
+            raise ConfigurationError(
+                "session is bound to a different YET than this pricer"
+            )
         self.yet = yet
         self.volatility_loading = volatility_loading
         self.tail_loading = tail_loading
         self._cache = cache
+        self._session = session
         self._use_service = isinstance(engine, str) and engine in (
-            "vectorized", "multicore",
+            "vectorized", "multicore", "auto",
         )
         #: The classic-path engine; ``None`` for service-backed pricers
         #: (building one would just idle beside the service's dispatcher).
@@ -78,7 +89,9 @@ class RealTimePricer:
             None if self._use_service
             else get_engine(engine) if isinstance(engine, str) else engine
         )
-        self._dispatch = "pooled" if engine == "multicore" else "inline"
+        self._dispatch = {"multicore": "pooled", "auto": "auto"}.get(
+            engine if isinstance(engine, str) else "", "inline"
+        )
         self._service = None
         self._closed = False
 
@@ -98,6 +111,7 @@ class RealTimePricer:
                 volatility_loading=self.volatility_loading,
                 tail_loading=self.tail_loading,
                 cache=self._cache,
+                session=self._session,
             )
         return self._service
 

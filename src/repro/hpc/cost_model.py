@@ -21,7 +21,51 @@ from dataclasses import dataclass, replace
 
 from repro.errors import AnalysisError, ConfigurationError
 
-__all__ = ["StageSpec", "StageRequirement", "PipelineCostModel"]
+__all__ = ["StageSpec", "StageRequirement", "PipelineCostModel",
+           "ThroughputEstimate"]
+
+
+class ThroughputEstimate:
+    """EWMA-calibrated per-processor throughput (work units / second).
+
+    The continuous-calibration idiom shared by the serve admission
+    controller and the session planner: start from a declared seed rate,
+    let the *first* real observation replace it outright (the seed is a
+    prior, not data), and fold later observations in with exponential
+    weighting so the estimate tracks the machine without thrashing on
+    one noisy batch.  Observations are normalised to per-processor
+    before storing — the cost model multiplies parallelism back in when
+    it prices a stage, and double-counting it would make pooled-path
+    estimates ``n_procs`` times too optimistic.
+    """
+
+    __slots__ = ("rate", "smoothing", "calibrated")
+
+    def __init__(self, seed_rate: float, smoothing: float = 0.3) -> None:
+        if seed_rate <= 0:
+            raise ConfigurationError("seed_rate must be positive")
+        if not (0.0 < smoothing <= 1.0):
+            raise ConfigurationError("smoothing must lie in (0, 1]")
+        self.rate = float(seed_rate)
+        self.smoothing = smoothing
+        self.calibrated = False
+
+    def observe(self, work_items: float, seconds: float,
+                n_procs: int = 1) -> float:
+        """Fold one measured run in; returns the updated rate.
+
+        Degenerate observations (no work, no elapsed time) are ignored
+        rather than allowed to poison the estimate.
+        """
+        if work_items <= 0 or seconds <= 0 or n_procs <= 0:
+            return self.rate
+        observed = work_items / seconds / n_procs
+        if self.calibrated:
+            a = self.smoothing
+            observed = (1 - a) * self.rate + a * observed
+        self.rate = observed
+        self.calibrated = True
+        return self.rate
 
 
 @dataclass(frozen=True)

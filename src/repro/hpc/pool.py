@@ -126,6 +126,15 @@ class WorkPool:
             )
         return self._executor
 
+    @property
+    def started(self) -> bool:
+        """Whether worker processes are currently live.
+
+        Planners read this to decide whether a pooled substrate still
+        owes its spawn cost or is warm and effectively free to enter.
+        """
+        return self._executor is not None
+
     def ensure_started(self, shared=None) -> None:
         """Pre-spawn the worker processes (idempotent warm-up).
 

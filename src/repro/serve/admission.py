@@ -23,7 +23,7 @@ import threading
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
-from repro.hpc.cost_model import StageSpec
+from repro.hpc.cost_model import StageSpec, ThroughputEstimate
 
 __all__ = ["AdmissionDecision", "AdmissionController"]
 
@@ -87,13 +87,15 @@ class AdmissionController:
         self.slo_seconds = slo_seconds
         self.max_pending = max_pending
         self.smoothing = smoothing
+        #: The shared EWMA calibrator (the session planner uses the same
+        #: class per engine); the first real batch replaces the seed.
+        self._estimate = ThroughputEstimate(float(lanes_per_second), smoothing)
         #: The cost-model stage the estimates run through; ``work_items``
         #: is per-decision, throughput is the calibrated rate.
         self._spec = StageSpec(
             "serve backlog", work_items=1.0,
             throughput_per_proc=float(lanes_per_second),
         )
-        self._calibrated = False
         #: Guards the EWMA read-modify-write in :meth:`observe`;
         #: :meth:`decide` only reads the (atomically swapped, frozen)
         #: spec, and shed/accept accounting lives on the service's
@@ -118,12 +120,8 @@ class AdmissionController:
         """
         if lanes <= 0 or seconds <= 0 or n_procs <= 0:
             return
-        rate = lanes / seconds / n_procs
         with self._lock:
-            if self._calibrated:
-                a = self.smoothing
-                rate = (1 - a) * self._spec.throughput_per_proc + a * rate
-            self._calibrated = True
+            rate = self._estimate.observe(lanes, seconds, n_procs)
             self._spec = self._spec.with_throughput(rate)
 
     # -- decisions ---------------------------------------------------------

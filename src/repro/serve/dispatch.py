@@ -54,6 +54,11 @@ class Dispatcher(abc.ABC):
     #: Parallelism the admission controller should model.
     n_procs: int = 1
 
+    @property
+    def transport_active(self) -> str:
+        """Transport the next batch will ride (diagnostic surface)."""
+        return "inline"
+
     @abc.abstractmethod
     def run(self, kernel: PortfolioKernel, yet: YetTable) -> np.ndarray:
         """The final ``(L, n_trials)`` matrix (aggregate terms applied)."""
@@ -156,6 +161,11 @@ class PooledDispatcher(Dispatcher):
     @property
     def n_procs(self) -> int:  # type: ignore[override]
         return self.pool.n_workers
+
+    @property
+    def transport_active(self) -> str:
+        """``"shm"`` when the data plane will carry the next batch."""
+        return "shm" if self._shm_active() else "pickle"
 
     def _shm_active(self) -> bool:
         if self.pool.n_workers <= 1:

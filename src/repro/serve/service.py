@@ -115,6 +115,15 @@ class PricingService:
         the SLO, and cap the queue.  ``None`` SLO = never shed on cost.
     dense_max_entries:
         Dense-lookup threshold forwarded to kernel construction.
+    session:
+        A :class:`~repro.session.RiskSession` to *share* staged state
+        with: the service borrows the session's dispatcher (one worker
+        pool, one shared-memory arena across aggregate runs and quote
+        batches) and leaves it open on :meth:`close`.  Without one, the
+        service owns a private session — the execution substrate always
+        belongs to a session, this service's or the caller's.  ``engine``
+        may then also be ``"auto"`` to let the session's planner pick
+        the dispatch substrate.
     """
 
     def __init__(
@@ -129,6 +138,7 @@ class PricingService:
         slo_seconds: float | None = None,
         max_pending: int = 10_000,
         dense_max_entries: int = 4_000_000,
+        session=None,
     ) -> None:
         if not isinstance(yet, YetTable):
             raise ConfigurationError(
@@ -140,7 +150,35 @@ class PricingService:
         self.volatility_loading = volatility_loading
         self.tail_loading = tail_loading
         self.dense_max_entries = dense_max_entries
-        self.dispatcher = make_dispatcher(engine)
+        self._owned_session = None
+        if isinstance(engine, Dispatcher):
+            if session is not None:
+                # Ambiguous ownership: the caller-built dispatcher would
+                # be adopted and closed while the session's substrate
+                # sits unused — refuse rather than silently not share.
+                raise ConfigurationError(
+                    "pass either a ready Dispatcher or session=, not both"
+                )
+            # A caller-built dispatcher keeps the historical contract:
+            # the service adopts and closes it.
+            self.dispatcher = make_dispatcher(engine)
+            self._owns_dispatch = True
+        else:
+            if session is None:
+                from repro.session import RiskSession
+
+                session = self._owned_session = RiskSession(
+                    yet, dense_max_entries=dense_max_entries,
+                )
+            elif session.yet is not yet:
+                # A shared dispatcher keys its staged bundle by YET
+                # fingerprint; two trial sets behind one pool would
+                # thrash the arena and void the ship-once invariant.
+                raise ConfigurationError(
+                    "session is bound to a different YET than this service"
+                )
+            self.dispatcher = session.dispatcher(engine)
+            self._owns_dispatch = False
         self.cache = (cache if isinstance(cache, ResultCache)
                       else ResultCache(cache))
         self.admission = AdmissionController(
@@ -173,12 +211,20 @@ class PricingService:
         self.dispatcher.warmup(self.yet)
 
     def close(self) -> None:
-        """Flush outstanding work and release resources (idempotent)."""
+        """Flush outstanding work and release resources (idempotent).
+
+        A dispatcher borrowed from a shared session stays open — the
+        session owns it; a private session (or an adopted dispatcher
+        instance) is torn down here.
+        """
         if self._closed:
             return
         self.batcher.stop()
         self.batcher.drain()
-        self.dispatcher.close()
+        if self._owns_dispatch:
+            self.dispatcher.close()
+        if self._owned_session is not None:
+            self._owned_session.close()
         self._closed = True
 
     def __enter__(self) -> "PricingService":

@@ -1,0 +1,490 @@
+""":class:`RiskSession` — the staged, planner-driven entry point.
+
+The paper's central claim is that risk analytics is data-bound: the YET
+is simulated once and every downstream workload — aggregate analysis,
+pricing quotes, EP curves, sensitivities — should be a cheap sweep over
+data that is *already staged* ("a consistent lens through which to view
+results", §II).  The classic entry points contradict that by each
+binding, shipping, and tearing down the same payloads independently;
+the zero-copy guarantee of the shm data plane only held *within* one
+entry point.
+
+A session restores the invariant across all of them:
+
+- **bind once** — the YET (and optionally a portfolio) are bound at
+  construction; every workload prices against the same trial set.
+- **stage once** — pooled substrates share ONE
+  :class:`~repro.serve.dispatch.PooledDispatcher` (one
+  :class:`~repro.hpc.pool.WorkPool`, one shared-memory arena): the YET
+  crosses to the workers at most once per session, whether the next
+  request is an aggregate run, a quote batch, or an EP curve
+  (``session.payload_ships`` exposes the counter the tests assert on).
+- **plan, don't guess** — ``engine="auto"`` resolves through the
+  :class:`~repro.session.planner.EnginePlanner`: the HPC cost model
+  prices every auto-candidate engine at its (EWMA-calibrated)
+  throughput, charges cold substrates their startup, and the returned
+  :class:`~repro.session.planner.ExecutionPlan` can ``explain()``
+  itself.
+- **close exactly once** — ``close()`` (or the context manager) tears
+  down services, engines, pools, and arenas idempotently; use after
+  close raises instead of silently resurrecting resources.
+
+The classic entry points (:class:`~repro.core.simulation.AggregateAnalysis`,
+:class:`~repro.serve.service.PricingService`,
+:class:`~repro.dfa.pricing.RealTimePricer`) are veneers over a session —
+standalone construction gives them a private one, and passing
+``session=`` lets several entry points share one staged substrate.
+This seam is where the ROADMAP's next axes plug in: multi-node sharding
+is per-shard sessions over sub-YETs; multi-tenant scheduling is
+per-tenant sessions over one staged trial set.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.analytics.ep_curves import EpCurve, aep_curve, portfolio_ep_curves
+from repro.analytics.sensitivity import term_sensitivities
+from repro.core.engines import Engine, EngineResult
+from repro.core.engines.registry import available_engines, engine_spec
+from repro.core.layer import Layer
+from repro.core.portfolio import Portfolio
+from repro.core.simulation import AnalysisResult
+from repro.core.tables import YetTable, YltTable
+from repro.errors import ConfigurationError, EngineError
+from repro.hpc import shm
+from repro.hpc.pool import available_parallelism
+from repro.serve.dispatch import Dispatcher, InlineDispatcher, PooledDispatcher
+from repro.session.planner import EnginePlanner, ExecutionPlan
+
+__all__ = ["RiskSession", "SessionStats"]
+
+
+@dataclass
+class SessionStats:
+    """Bounded workload counters for one session."""
+
+    aggregates: int = 0
+    quotes: int = 0
+    ep_curves: int = 0
+    sensitivity_sweeps: int = 0
+    plans: int = 0
+
+
+class _StagedMulticore(Engine):
+    """The session-staged multicore substrate.
+
+    Runs the fused portfolio sweep as trial blocks over the *session's*
+    shared :class:`~repro.serve.dispatch.PooledDispatcher` instead of a
+    private :class:`~repro.core.engines.multicore.MulticoreEngine` pool.
+    Numerically identical (same block decomposition, same kernel sweep,
+    block-local aggregate terms), but the YET rides the session's one
+    staged arena — so an aggregate run followed by quote batches ships
+    the trial set zero additional times.
+    """
+
+    name = "multicore"
+
+    def __init__(self, session: "RiskSession") -> None:
+        self._session = session
+
+    def run(self, portfolio: Portfolio, yet: YetTable, *,
+            emit_yelt: bool = False) -> EngineResult:
+        self._validate(portfolio, yet)
+        if emit_yelt:
+            raise EngineError(
+                "multicore engine does not emit YELTs; use the vectorized "
+                "engine for event-granularity output"
+            )
+        t0 = time.perf_counter()
+        sess = self._session
+        kernel = portfolio.kernel(dense_max_entries=sess.dense_max_entries)
+        dispatcher = sess.dispatcher("pooled")
+        final = dispatcher.run(kernel, yet)
+        ylt_by_layer = {
+            lid: YltTable(final[row]) for row, lid in enumerate(kernel.layer_ids)
+        }
+        portfolio_ylt = YltTable.sum(list(ylt_by_layer.values()))
+        return EngineResult(
+            engine=self.name,
+            ylt_by_layer=ylt_by_layer,
+            portfolio_ylt=portfolio_ylt,
+            seconds=time.perf_counter() - t0,
+            details={"n_workers": dispatcher.n_procs,
+                     "n_blocks": min(dispatcher.n_procs, yet.n_trials),
+                     "fused_layers": kernel.n_layers,
+                     "transport": dispatcher.transport_active,
+                     "session_staged": True},
+        )
+
+
+class RiskSession:
+    """One staged entry point for every stage-2/3 workload.
+
+    Parameters
+    ----------
+    yet:
+        The pre-simulated year-event table every workload sweeps.
+    portfolio:
+        Optional default book for :meth:`aggregate` / :meth:`ep_curves`;
+        per-call portfolios may always be passed explicitly.
+    n_workers:
+        Worker processes for pooled substrates (``None`` = host
+        parallelism).
+    transport:
+        Payload transport for pooled substrates: ``"auto"`` / ``"shm"``
+        / ``"pickle"`` (see :mod:`repro.hpc.shm`).
+    dense_max_entries:
+        Dense-lookup threshold forwarded to kernel construction.
+    volatility_loading / tail_loading:
+        Premium loadings for the session's pricing services.
+    """
+
+    def __init__(self, yet: YetTable, portfolio: Portfolio | None = None, *,
+                 n_workers: int | None = None, transport: str = "auto",
+                 dense_max_entries: int = 4_000_000,
+                 volatility_loading: float = 0.25,
+                 tail_loading: float = 0.02) -> None:
+        if not isinstance(yet, YetTable):
+            raise ConfigurationError(
+                f"expected YetTable, got {type(yet).__name__}"
+            )
+        if portfolio is not None and not isinstance(portfolio, Portfolio):
+            raise ConfigurationError(
+                f"expected Portfolio, got {type(portfolio).__name__}"
+            )
+        shm.validate_transport(transport, ConfigurationError)
+        self.yet = yet
+        self.portfolio = portfolio
+        self.n_workers = n_workers
+        self.transport = transport
+        self.dense_max_entries = dense_max_entries
+        self.volatility_loading = volatility_loading
+        self.tail_loading = tail_loading
+        self._n_procs = (n_workers if n_workers is not None
+                         else available_parallelism())
+        self._planner = EnginePlanner(n_workers=self._n_procs)
+        self.stats = SessionStats()
+        # Staged state, all lazy: nothing is spawned or placed until a
+        # workload actually needs it.
+        self._inline: InlineDispatcher | None = None
+        self._pooled: PooledDispatcher | None = None
+        self._staged_multicore: _StagedMulticore | None = None
+        self._engines: dict[tuple, Engine] = {}
+        self._extra_engines: list[Engine] = []
+        self._services: list = []
+        self._default_service = None
+        #: Guards the default-service lazy init: concurrent quote()
+        #: callers must coalesce into ONE service's micro-batcher, not
+        #: each build their own.
+        self._service_lock = threading.Lock()
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("session is closed")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def warmup(self, engine: str = "pooled") -> None:
+        """Pay substrate startup now (worker spawn, YET staging) so the
+        first workload's latency is pure compute.  No-op for inline."""
+        self._check_open()
+        self.dispatcher(engine).warmup(self.yet)
+
+    def close(self) -> None:
+        """Tear down services, engines, pools, and arenas — exactly once
+        each, in dependency order (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for svc in self._services:
+            svc.close()
+        self._services.clear()
+        self._default_service = None
+        for eng in [*self._engines.values(), *self._extra_engines]:
+            if hasattr(eng, "close"):
+                eng.close()
+        self._engines.clear()
+        self._extra_engines.clear()
+        if self._pooled is not None:
+            self._pooled.close()
+            self._pooled = None
+        self._inline = None
+        self._staged_multicore = None
+
+    def __enter__(self) -> "RiskSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- staged substrates -------------------------------------------------
+
+    @property
+    def payload_ships(self) -> int:
+        """Times the staged payload crossed to the session's pool workers
+        (0 until a pooled workload runs; stays 1 across a whole mixed
+        aggregate + quote + EP-curve workload — the session invariant)."""
+        return (self._pooled.pool.payload_ships
+                if self._pooled is not None else 0)
+
+    def dispatcher(self, spec="auto") -> Dispatcher:
+        """The session-owned dispatcher for a serving-style workload.
+
+        ``"auto"`` plans the choice; ``"inline"``/``"vectorized"`` and
+        ``"pooled"``/``"multicore"`` name the substrates directly.  The
+        returned dispatcher is owned (and closed) by the session.
+        """
+        self._check_open()
+        if isinstance(spec, Dispatcher):
+            return spec
+        if spec in (None, "auto"):
+            plan = self.plan("serving")
+            spec = "pooled" if plan.engine == "multicore" else "inline"
+        if spec in ("inline", "vectorized"):
+            if self._inline is None:
+                self._inline = InlineDispatcher()
+            return self._inline
+        if spec in ("pooled", "multicore"):
+            if self._pooled is None:
+                self._pooled = PooledDispatcher(
+                    n_workers=self.n_workers, transport=self.transport
+                )
+            return self._pooled
+        raise ConfigurationError(
+            f"unknown dispatcher {spec!r}; expected 'auto', "
+            "'inline'/'vectorized', 'pooled'/'multicore', or a Dispatcher "
+            "instance"
+        )
+
+    def engine(self, name: str | Engine = "auto", **kwargs) -> Engine:
+        """A session-owned, warm engine (do not close it yourself).
+
+        ``"auto"`` resolves through the planner.  ``"multicore"``
+        (kwarg-free) returns the session-staged substrate sharing the
+        serving pool; other names construct through the declarative
+        registry, are cached per name, and are closed with the session.
+        Unknown names raise :class:`~repro.errors.EngineError` with the
+        available list — here, at the boundary.
+        """
+        self._check_open()
+        if isinstance(name, Engine):
+            return name
+        if name == "auto":
+            name = self.plan("aggregate").engine
+        spec = engine_spec(name)
+        if name == "multicore" and not kwargs:
+            if self._staged_multicore is None:
+                self._staged_multicore = _StagedMulticore(self)
+            return self._staged_multicore
+        params = inspect.signature(spec.factory).parameters
+        if "dense_max_entries" in params:
+            kwargs.setdefault("dense_max_entries", self.dense_max_entries)
+        # Cache on the full configuration: the same (name, kwargs) must
+        # return the same warm engine — a repeat run may never silently
+        # reuse a differently-configured instance, nor accumulate one
+        # live pool per call.
+        try:
+            key = (name, tuple(sorted(kwargs.items())))
+            hash(key)
+        except TypeError:
+            # Unhashable kwargs (a caller-built SimulatedGpu, say) get a
+            # fresh engine, still owned and closed by the session.
+            eng = spec.factory(**kwargs)
+            self._extra_engines.append(eng)
+            return eng
+        eng = self._engines.get(key)
+        if eng is None:
+            eng = spec.factory(**kwargs)
+            self._engines[key] = eng
+        return eng
+
+    # -- planning ----------------------------------------------------------
+
+    def plan(self, workload: str = "aggregate", *,
+             portfolio: Portfolio | None = None,
+             n_layers: int | None = None,
+             require_emit_yelt: bool = False) -> ExecutionPlan:
+        """Price the auto-candidate engines for a workload on this
+        session's data shape; see :meth:`ExecutionPlan.explain`."""
+        self._check_open()
+        if n_layers is None:
+            pf = portfolio if portfolio is not None else self.portfolio
+            n_layers = pf.n_layers if pf is not None else 1
+        pool_warm = self._pooled is not None and self._pooled.pool.started
+        plan = self._planner.plan(
+            workload,
+            n_trials=self.yet.n_trials,
+            n_occurrences=self.yet.n_occurrences,
+            n_layers=n_layers,
+            pool_warm=pool_warm,
+            transport=self._transport_label(),
+            require_emit_yelt=require_emit_yelt,
+        )
+        self.stats.plans += 1
+        return plan
+
+    def _transport_label(self) -> str:
+        if self._n_procs > 1 and shm.resolve_transport(self.transport,
+                                                       ConfigurationError):
+            return "shm"
+        return "pickle"
+
+    def _observe(self, res: EngineResult, n_layers: int) -> None:
+        """Feed a measured run back into the planner's calibration."""
+        try:
+            spec = engine_spec(res.engine)
+        except EngineError:
+            return
+        if not spec.auto_candidate:
+            return
+        lanes = self.yet.n_occurrences * max(n_layers, 1)
+        n_procs = int(res.details.get("n_workers", 1)) or 1
+        self._planner.observe(res.engine, lanes, res.seconds, n_procs)
+
+    # -- aggregate analysis ------------------------------------------------
+
+    def aggregate(self, portfolio: Portfolio | None = None,
+                  engine: str | Engine = "auto", *,
+                  emit_yelt: bool = False, **engine_kwargs) -> AnalysisResult:
+        """Run one aggregate analysis over staged state.
+
+        ``engine="auto"`` plans the substrate; the chosen
+        :class:`~repro.session.planner.ExecutionPlan` rides along in
+        ``result.details["plan"]``.  Explicit names resolve through the
+        declarative registry (unknown names fail here with the available
+        list); an :class:`~repro.core.engines.Engine` *instance* is used
+        as-is and keeps its own lifecycle.
+        """
+        self._check_open()
+        pf = portfolio if portfolio is not None else self.portfolio
+        if pf is None:
+            raise ConfigurationError(
+                "no portfolio bound to this session; pass one to aggregate()"
+            )
+        plan = None
+        if isinstance(engine, Engine):
+            if engine_kwargs:
+                raise EngineError(
+                    "engine_kwargs only apply when engine is a name"
+                )
+            eng = engine
+        else:
+            name = engine
+            if name == "auto":
+                if engine_kwargs:
+                    raise EngineError(
+                        "engine_kwargs require an explicit engine name; "
+                        "engine='auto' chooses its own configuration"
+                    )
+                plan = self.plan("aggregate", portfolio=pf,
+                                 require_emit_yelt=emit_yelt)
+                name = plan.engine
+            spec = engine_spec(name)
+            if emit_yelt and not spec.supports_emit_yelt:
+                emitters = [n for n in available_engines()
+                            if engine_spec(n).supports_emit_yelt]
+                raise EngineError(
+                    f"engine {name!r} does not emit YELTs; "
+                    f"engines that do: {emitters}"
+                )
+            eng = self.engine(name, **engine_kwargs)
+        res = eng.run(pf, self.yet, emit_yelt=emit_yelt)
+        self._observe(res, pf.n_layers)
+        self.stats.aggregates += 1
+        result = AnalysisResult.from_engine(res)
+        if plan is not None:
+            result.details["plan"] = plan
+        return result
+
+    def run_all(self, names: list[str] | None = None,
+                portfolio: Portfolio | None = None) -> dict[str, AnalysisResult]:
+        """Run several engines over the same staged inputs.
+
+        Every name is validated against the registry *before* any engine
+        runs, and pooled engines reuse the session's one staged arena —
+        a sweep ships the YET at most once, and a repeat sweep ships it
+        zero times.
+        """
+        self._check_open()
+        names = list(names) if names is not None else available_engines()
+        for name in names:
+            engine_spec(name)
+        return {name: self.aggregate(portfolio, engine=name) for name in names}
+
+    # -- serving-style workloads -------------------------------------------
+
+    def pricing_service(self, engine="auto", **kwargs):
+        """A :class:`~repro.serve.service.PricingService` bound to this
+        session's staged substrate (closed with the session; closing it
+        earlier is allowed and leaves the session's pools running)."""
+        self._check_open()
+        from repro.serve.service import PricingService
+
+        kwargs.setdefault("volatility_loading", self.volatility_loading)
+        kwargs.setdefault("tail_loading", self.tail_loading)
+        kwargs.setdefault("dense_max_entries", self.dense_max_entries)
+        svc = PricingService(self.yet, engine=engine, session=self, **kwargs)
+        self._services.append(svc)
+        return svc
+
+    def _service(self):
+        with self._service_lock:
+            if self._default_service is None or self._default_service._closed:
+                self._default_service = self.pricing_service()
+            return self._default_service
+
+    def quote(self, layer: Layer, timeout: float | None = None):
+        """Price one candidate layer against the staged YET."""
+        self._check_open()
+        self.stats.quotes += 1
+        return self._service().quote(layer, timeout=timeout)
+
+    def quote_many(self, layers, timeout: float | None = None) -> list:
+        """Price several candidates through one coalesced sweep."""
+        self._check_open()
+        layers = list(layers)
+        self.stats.quotes += len(layers)
+        return self._service().quote_many(layers, timeout=timeout)
+
+    def ep_curve(self, layer: Layer | None = None, *,
+                 engine: str | Engine = "auto") -> EpCurve:
+        """An aggregate EP curve over the staged YET.
+
+        With a ``layer``: that layer's curve through the (cached,
+        coalesced) pricing path.  Without: the bound portfolio's total
+        curve from one aggregate run.
+        """
+        self._check_open()
+        self.stats.ep_curves += 1
+        if layer is not None:
+            return self._service().ep_curve(layer)
+        result = self.aggregate(engine=engine)
+        return aep_curve(result.portfolio_ylt)
+
+    def ep_curves(self, portfolio: Portfolio | None = None, *,
+                  engine: str | Engine = "auto"):
+        """``(per-layer curves, portfolio curve)`` from ONE staged run
+        (see :func:`~repro.analytics.ep_curves.portfolio_ep_curves`)."""
+        self._check_open()
+        result = self.aggregate(portfolio, engine=engine)
+        self.stats.ep_curves += 1
+        return portfolio_ep_curves(result.ylt_by_layer, result.portfolio_ylt)
+
+    def sensitivities(self, layer: Layer, *, engine: str | Engine = "auto",
+                      **kwargs) -> dict[str, float]:
+        """Term sensitivities with a warm, session-owned engine: the
+        ~10 bump re-runs reuse one staged substrate instead of
+        constructing and tearing one down per sweep."""
+        self._check_open()
+        self.stats.sensitivity_sweeps += 1
+        return term_sensitivities(layer, self.yet, engine=engine,
+                                  session=self, **kwargs)

@@ -41,10 +41,12 @@ def small_portfolio_workload():
 def no_leaked_shm_segments():
     """The whole suite must unlink every shared-memory segment it created.
 
-    Arenas and slabs are owned by engines, dispatchers, and services; a
-    test that forgets to close one would leave its segment in /dev/shm
-    past process exit on a crash.  The atexit safety net hides such
-    leaks from users, so this fixture is where they get caught.
+    Arenas and slabs are owned by engines, dispatchers, services, and
+    sessions; a test that forgets to close one would leave its segment
+    in /dev/shm past process exit on a crash.  The atexit safety net
+    hides such leaks from users, so this fixture is where they get
+    caught.  (The ``risk_session`` factory below closes its sessions for
+    exactly this reason.)
     """
     yield
     from repro.hpc import shm
@@ -53,3 +55,25 @@ def no_leaked_shm_segments():
     assert not leaked, (
         f"shared-memory segments leaked by the suite: {sorted(leaked)}"
     )
+
+
+@pytest.fixture()
+def risk_session():
+    """Factory for RiskSessions that are guaranteed closed at test end.
+
+    Usage: ``session = risk_session(yet, portfolio, n_workers=2)``.  The
+    teardown close is idempotent, so tests exercising explicit ``close()``
+    / context-manager paths can still use the factory.
+    """
+    from repro.session import RiskSession
+
+    sessions = []
+
+    def make(yet, portfolio=None, **kwargs) -> RiskSession:
+        session = RiskSession(yet, portfolio, **kwargs)
+        sessions.append(session)
+        return session
+
+    yield make
+    for session in sessions:
+        session.close()

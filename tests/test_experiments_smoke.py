@@ -109,3 +109,25 @@ class TestBenchE15Smoke:
         )
         assert ship["handle_bytes"] < 1024
         assert ship["shm_reship_seconds"] < ship["pickle_ship_seconds"] * 10
+
+
+class TestBenchE16Smoke:
+    """Tiny-shape run of the session-reuse bench (tier-1 guard)."""
+
+    def test_e16_measures_and_round_trips(self):
+        sys.path.insert(0, str(BENCH_DIR))
+        try:
+            import bench_e16_session_reuse as e16
+        finally:
+            sys.path.remove(str(BENCH_DIR))
+
+        tiny = dict(n_layers=2, n_trials=60, mean_events_per_trial=10.0,
+                    elts_per_layer=1, elt_rows=50, catalog_events=200)
+        row = e16.measure_row("tiny", tiny, repeats=1, n_quotes=2)
+        # shape-stability: the keys run_tier2 prints and gates on
+        for key in ("baseline_seconds", "session_seconds", "speedup",
+                    "session_payload_ships", "baseline_constructions"):
+            assert key in row
+        # the session invariant holds even at toy scale
+        assert row["session_payload_ships"] <= 1
+        assert row["baseline_seconds"] > 0 and row["session_seconds"] > 0

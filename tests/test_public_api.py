@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.analytics",
     "repro.bench",
     "repro.serve",
+    "repro.session",
 ]
 
 
@@ -43,7 +44,11 @@ def test_quickstart_docstring_code_path():
     import repro
 
     wl = repro.bench.companion_study_workload(n_trials=200)
-    result = repro.AggregateAnalysis(wl.portfolio, wl.yet).run("vectorized")
+    with repro.RiskSession(wl.yet, wl.portfolio) as session:
+        result = session.aggregate()
+        assert result.details["plan"].explain()
+        quotes = session.quote_many(list(wl.portfolio))
+        assert len(quotes) == wl.portfolio.n_layers
     report = repro.regulator_report(
         repro.RiskMetrics.from_ylt(result.portfolio_ylt)
     )
@@ -85,3 +90,37 @@ def test_pricing_quote_importable_from_both_homes():
     from repro.dfa.quote import PricingQuote as via_quote
 
     assert via_pricing is via_quote
+
+
+def test_session_surface_locked():
+    """The session layer's public names ride the root namespace."""
+    import repro
+
+    assert repro.RiskSession is repro.session.RiskSession
+    assert repro.ExecutionPlan is repro.session.ExecutionPlan
+    assert repro.EngineSpec is repro.core.engines.EngineSpec
+    # the registry surface the planner is built on
+    from repro.core.engines import available_engines, engine_spec
+
+    for name in available_engines():
+        assert engine_spec(name).name == name
+
+
+def test_legacy_entry_points_resolve_deprecation_free(tiny_workload):
+    """The classic constructors are veneers now, but must keep working
+    without a whisper of a deprecation."""
+    import warnings
+
+    import repro
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        result = repro.AggregateAnalysis(
+            tiny_workload.portfolio, tiny_workload.yet
+        ).run("vectorized")
+        assert result.engine == "vectorized"
+        with repro.PricingService(tiny_workload.yet) as svc:
+            assert svc.quote(tiny_workload.portfolio.layers[0]).premium > 0
+        with repro.RealTimePricer(tiny_workload.yet) as pricer:
+            assert pricer.quote(tiny_workload.portfolio.layers[0]).premium > 0
+        assert repro.get_engine("vectorized").name == "vectorized"

@@ -1,0 +1,581 @@
+"""Tests for the session layer: RiskSession, the planner, the registry.
+
+The contract under test is the paper's thesis applied to the API: bind
+the YET once, stage it once, and every workload — aggregate runs, quote
+batches, EP curves, sensitivities — sweeps data that is already
+resident.  Plus the redesigned engine registry (declarative EngineSpec
+records, boundary-surfaced unknown-name errors) and the cost-model
+planner behind ``engine="auto"``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.engines import (
+    Engine,
+    EngineSpec,
+    VectorizedEngine,
+    available_engines,
+    engine_spec,
+)
+from repro.core.layer import Layer
+from repro.core.simulation import AggregateAnalysis
+from repro.errors import ConfigurationError, EngineError
+from repro.hpc import shm
+from repro.session import EnginePlanner, ExecutionPlan, RiskSession
+from repro.session.planner import plan_workload
+
+ALL_ENGINES = ["sequential", "vectorized", "device", "multicore",
+               "mapreduce", "distributed"]
+
+needs_shm = pytest.mark.skipif(
+    not shm.shm_available(), reason="shared memory unavailable on this host"
+)
+
+
+def _candidates(portfolio, n):
+    base = portfolio.layers[0]
+    out = []
+    for i in range(n):
+        terms = dataclasses.replace(
+            base.terms, occ_retention=base.terms.occ_retention * (1 + 0.2 * i)
+        )
+        out.append(Layer(900 + i, base.elts, terms, weights=base.weights))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the declarative registry
+# ---------------------------------------------------------------------------
+
+class TestEngineSpecs:
+    def test_every_engine_has_a_spec(self):
+        for name in ALL_ENGINES:
+            spec = engine_spec(name)
+            assert isinstance(spec, EngineSpec)
+            assert spec.name == name
+            assert spec.factory().name == name
+
+    def test_unknown_name_surfaces_available_list(self):
+        with pytest.raises(EngineError) as err:
+            engine_spec("quantum")
+        for name in ALL_ENGINES:
+            assert name in str(err.value)
+
+    def test_auto_candidates_are_real_substrates(self):
+        from repro.core.engines import auto_candidates
+
+        autos = {s.name for s in auto_candidates()}
+        assert autos == {"vectorized", "multicore"}
+        # simulated substrates must never be planned for real workloads
+        for name in ("sequential", "device", "mapreduce", "distributed"):
+            assert not engine_spec(name).auto_candidate
+
+    def test_capability_flags_match_engine_behaviour(self, tiny_workload):
+        # emit_yelt: the spec flag and the engine's actual behaviour agree
+        for name in ALL_ENGINES:
+            spec = engine_spec(name)
+            analysis = AggregateAnalysis(tiny_workload.portfolio,
+                                         tiny_workload.yet)
+            if spec.supports_emit_yelt:
+                res = analysis.run(name, emit_yelt=True)
+                assert res.yelt_by_layer
+            else:
+                with pytest.raises(EngineError):
+                    analysis.run(name, emit_yelt=True)
+
+    def test_stage_spec_cost_hook(self):
+        spec = engine_spec("multicore")
+        stage = spec.stage_spec(1e6)
+        assert stage.throughput_per_proc == spec.lane_throughput
+        # more processors help a process-pool substrate
+        assert stage.runtime_seconds(4) < stage.runtime_seconds(1)
+        assert spec.procs_for(8) == 8
+        assert engine_spec("vectorized").procs_for(8) == 1
+
+
+# ---------------------------------------------------------------------------
+# the planner
+# ---------------------------------------------------------------------------
+
+class TestPlanner:
+    def test_tiny_workload_plans_inline(self):
+        planner = EnginePlanner(n_workers=8)
+        plan = planner.plan("aggregate", n_trials=100, n_occurrences=1_000,
+                            n_layers=1)
+        assert plan.engine == "vectorized"
+        assert plan.transport == "inline"
+
+    def test_huge_workload_plans_pooled(self):
+        planner = EnginePlanner(n_workers=8)
+        plan = planner.plan("aggregate", n_trials=1_000_000,
+                            n_occurrences=500_000_000, n_layers=16)
+        assert plan.engine == "multicore"
+        assert plan.n_procs == 8
+
+    def test_single_core_host_never_plans_pooled(self):
+        planner = EnginePlanner(n_workers=1)
+        plan = planner.plan("aggregate", n_trials=1_000_000,
+                            n_occurrences=500_000_000, n_layers=16)
+        assert plan.engine == "vectorized"
+        ineligible = [e for e in plan.estimates if not e.eligible]
+        assert ineligible and ineligible[0].engine == "multicore"
+
+    def test_warm_pool_waives_startup(self):
+        planner = EnginePlanner(n_workers=4)
+        shape = dict(n_trials=10_000, n_occurrences=2_000_000, n_layers=4)
+        cold = planner.plan("aggregate", pool_warm=False, **shape)
+        warm = planner.plan("aggregate", pool_warm=True, **shape)
+        cold_mc = next(e for e in cold.estimates if e.engine == "multicore")
+        warm_mc = next(e for e in warm.estimates if e.engine == "multicore")
+        assert cold_mc.startup_seconds > 0
+        assert warm_mc.startup_seconds == 0
+
+    def test_observation_calibrates_the_estimate(self):
+        planner = EnginePlanner(n_workers=4)
+        seed = planner.throughput("vectorized")
+        planner.observe("vectorized", lanes=1e6, seconds=1.0)
+        assert planner.throughput("vectorized") == pytest.approx(1e6)
+        assert planner.throughput("vectorized") != seed
+        # second observation is EWMA-blended, not a replacement
+        planner.observe("vectorized", lanes=2e6, seconds=1.0)
+        assert 1e6 < planner.throughput("vectorized") < 2e6
+
+    def test_explain_names_engine_and_cost_inputs(self):
+        planner = EnginePlanner(n_workers=8)
+        plan = planner.plan("aggregate", n_trials=1_000,
+                            n_occurrences=100_000, n_layers=2)
+        text = plan.explain()
+        assert plan.engine in text
+        assert "lanes" in text
+        assert "throughput" in text
+        assert "startup" in text
+        for est in plan.estimates:
+            assert est.engine in text
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnginePlanner(n_workers=2).plan("quantum", n_trials=1,
+                                            n_occurrences=1)
+
+    def test_plan_workload_one_shot(self, tiny_workload):
+        plan = plan_workload(tiny_workload.yet, n_layers=1)
+        assert isinstance(plan, ExecutionPlan)
+        assert plan.engine in available_engines()
+
+
+# ---------------------------------------------------------------------------
+# session lifecycle
+# ---------------------------------------------------------------------------
+
+class TestSessionLifecycle:
+    def test_close_is_idempotent(self, tiny_workload):
+        session = RiskSession(tiny_workload.yet, tiny_workload.portfolio)
+        session.aggregate(engine="vectorized")
+        session.close()
+        session.close()
+        assert session.closed
+
+    def test_use_after_close_raises(self, tiny_workload):
+        session = RiskSession(tiny_workload.yet, tiny_workload.portfolio)
+        session.close()
+        for call in (
+            lambda: session.aggregate(engine="vectorized"),
+            lambda: session.quote(tiny_workload.portfolio.layers[0]),
+            lambda: session.ep_curve(),
+            lambda: session.plan(),
+            lambda: session.engine("vectorized"),
+            lambda: session.dispatcher("inline"),
+            lambda: session.pricing_service(),
+            lambda: session.warmup(),
+        ):
+            with pytest.raises(ConfigurationError, match="closed"):
+                call()
+
+    def test_context_manager_closes(self, tiny_workload):
+        with RiskSession(tiny_workload.yet, tiny_workload.portfolio) as s:
+            s.aggregate(engine="vectorized")
+        assert s.closed
+
+    @needs_shm
+    def test_no_leaked_segments(self, tiny_workload):
+        before = set(shm.active_segment_names())
+        with RiskSession(tiny_workload.yet, tiny_workload.portfolio,
+                         n_workers=2) as s:
+            s.aggregate(engine="multicore")
+            s.pricing_service(engine="pooled").quote(
+                tiny_workload.portfolio.layers[0]
+            )
+        assert set(shm.active_segment_names()) == before
+
+    def test_rejects_wrong_types(self, tiny_workload):
+        with pytest.raises(ConfigurationError):
+            RiskSession("not a yet")
+        with pytest.raises(ConfigurationError):
+            RiskSession(tiny_workload.yet, "not a portfolio")
+        with pytest.raises(ConfigurationError):
+            RiskSession(tiny_workload.yet, transport="carrier-pigeon")
+
+    def test_no_bound_portfolio_is_a_clear_error(self, tiny_workload):
+        with RiskSession(tiny_workload.yet) as s:
+            with pytest.raises(ConfigurationError, match="portfolio"):
+                s.aggregate()
+
+    def test_closing_a_session_service_keeps_the_session_alive(
+            self, tiny_workload, risk_session):
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio)
+        svc = session.pricing_service()
+        svc.quote(tiny_workload.portfolio.layers[0])
+        svc.close()
+        # the session's substrate survives its services
+        res = session.aggregate(engine="vectorized")
+        assert res.portfolio_ylt.n_trials == tiny_workload.yet.n_trials
+
+
+# ---------------------------------------------------------------------------
+# parity: session-mediated vs legacy entry points
+# ---------------------------------------------------------------------------
+
+class TestSessionParity:
+    @pytest.mark.parametrize("name", ALL_ENGINES)
+    def test_aggregate_matches_legacy(self, tiny_workload, risk_session, name):
+        legacy = AggregateAnalysis(tiny_workload.portfolio,
+                                   tiny_workload.yet).run(name)
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio)
+        staged = session.aggregate(engine=name)
+        assert staged.engine == legacy.engine == name
+        assert staged.portfolio_ylt.allclose(legacy.portfolio_ylt)
+        for lid, ylt in legacy.ylt_by_layer.items():
+            assert staged.ylt_by_layer[lid].allclose(ylt)
+
+    def test_session_quote_matches_legacy_service(self, tiny_workload,
+                                                  risk_session):
+        from repro.serve.service import PricingService
+
+        layer = tiny_workload.portfolio.layers[0]
+        with PricingService(tiny_workload.yet) as svc:
+            legacy = svc.quote(layer)
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio)
+        staged = session.quote(layer)
+        assert staged.premium == pytest.approx(legacy.premium, rel=1e-9)
+
+    def test_session_sensitivities_match_legacy(self, tiny_workload,
+                                                risk_session):
+        from repro.analytics.sensitivity import term_sensitivities
+
+        layer = tiny_workload.portfolio.layers[0]
+        legacy = term_sensitivities(layer, tiny_workload.yet)
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio)
+        staged = session.sensitivities(layer, engine="vectorized")
+        assert staged == pytest.approx(legacy)
+
+    def test_ep_curves_from_one_run(self, small_portfolio_workload,
+                                    risk_session):
+        session = risk_session(small_portfolio_workload.yet,
+                               small_portfolio_workload.portfolio)
+        by_layer, total = session.ep_curves(engine="vectorized")
+        assert set(by_layer) == set(
+            small_portfolio_workload.portfolio.layer_ids
+        )
+        # the portfolio's total-loss curve dominates each layer's
+        for curve in by_layer.values():
+            assert total.dominates(curve)
+
+    def test_ep_curve_layer_path_matches_service(self, tiny_workload,
+                                                 risk_session):
+        layer = tiny_workload.portfolio.layers[0]
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio)
+        via_layer = session.ep_curve(layer)
+        assert via_layer.n_trials == tiny_workload.yet.n_trials
+
+
+# ---------------------------------------------------------------------------
+# the staged data plane: the one-ship invariant
+# ---------------------------------------------------------------------------
+
+class TestStagedPayload:
+    @needs_shm
+    def test_mixed_workload_ships_payload_once(self, small_portfolio_workload,
+                                               risk_session):
+        """Acceptance: aggregate + >=8 quotes + EP curve through one
+        session ships the YET at most once (WorkPool.payload_ships)."""
+        from repro.serve.cache import CachePolicy
+
+        wl = small_portfolio_workload
+        session = risk_session(wl.yet, wl.portfolio, n_workers=2)
+        session.aggregate(engine="multicore")
+        assert session.payload_ships == 1
+        svc = session.pricing_service(engine="pooled", cache=CachePolicy(0))
+        quotes = svc.quote_many(_candidates(wl.portfolio, 8))
+        assert len(quotes) == 8 and all(q.premium >= 0 for q in quotes)
+        svc.ep_curve(wl.portfolio.layers[0])
+        assert session.payload_ships == 1
+        # and a repeat aggregate still re-ships nothing
+        session.aggregate(engine="multicore")
+        assert session.payload_ships == 1
+
+    @needs_shm
+    def test_run_all_ships_do_not_grow_across_the_sweep(
+            self, tiny_workload, risk_session):
+        """Satellite: run_all through one session stages (kernel, YET)
+        once; a second sweep ships nothing more."""
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio,
+                               n_workers=2)
+        analysis = AggregateAnalysis(tiny_workload.portfolio,
+                                     tiny_workload.yet, session=session)
+        first = analysis.run_all(["vectorized", "multicore"])
+        ships_after_first = session.payload_ships
+        assert ships_after_first == 1
+        second = analysis.run_all(["vectorized", "multicore"])
+        assert session.payload_ships == ships_after_first
+        assert first["multicore"].portfolio_ylt.allclose(
+            second["multicore"].portfolio_ylt
+        )
+
+    def test_staged_multicore_details(self, tiny_workload, risk_session):
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio,
+                               n_workers=2)
+        res = session.aggregate(engine="multicore")
+        assert res.details["session_staged"] is True
+        assert res.details["n_workers"] == 2
+        assert res.details["transport"] in ("shm", "pickle")
+
+    def test_staged_multicore_rejects_emit_yelt(self, tiny_workload,
+                                                risk_session):
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio,
+                               n_workers=2)
+        with pytest.raises(EngineError, match="YELT"):
+            session.aggregate(engine="multicore", emit_yelt=True)
+
+
+# ---------------------------------------------------------------------------
+# engine="auto" through the session
+# ---------------------------------------------------------------------------
+
+class TestAutoEngine:
+    def test_auto_with_emit_yelt_plans_an_emitting_engine(self, tiny_workload,
+                                                          risk_session):
+        """emit_yelt is a plan constraint: even when the pooled substrate
+        would win on cost, auto must land on an engine that can emit."""
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio,
+                               n_workers=2)
+        res = session.aggregate(emit_yelt=True)
+        assert res.yelt_by_layer
+        assert engine_spec(res.engine).supports_emit_yelt
+
+    def test_planner_marks_non_emitters_ineligible(self):
+        planner = EnginePlanner(n_workers=8)
+        # a shape where multicore wins unconstrained...
+        shape = dict(n_trials=1_000_000, n_occurrences=500_000_000,
+                     n_layers=16)
+        assert planner.plan("aggregate", **shape).engine == "multicore"
+        # ...but the YELT constraint excludes it, visibly
+        plan = planner.plan("aggregate", require_emit_yelt=True, **shape)
+        assert plan.engine == "vectorized"
+        mc = next(e for e in plan.estimates if e.engine == "multicore")
+        assert not mc.eligible and "YELT" in mc.note
+        assert "YELT" in plan.explain()
+
+    def test_auto_attaches_an_execution_plan(self, tiny_workload,
+                                             risk_session):
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio)
+        res = session.aggregate()
+        plan = res.details["plan"]
+        assert isinstance(plan, ExecutionPlan)
+        assert plan.engine == res.engine
+        text = plan.explain()
+        assert res.engine in text and "throughput" in text
+
+    def test_auto_works_standalone(self, tiny_workload):
+        res = AggregateAnalysis(tiny_workload.portfolio,
+                                tiny_workload.yet).run("auto")
+        assert isinstance(res.details["plan"], ExecutionPlan)
+        assert res.engine == res.details["plan"].engine
+
+    def test_auto_emit_yelt_works_standalone(self, tiny_workload):
+        """The emit_yelt constraint reaches the standalone planner too."""
+        res = AggregateAnalysis(tiny_workload.portfolio,
+                                tiny_workload.yet).run("auto", emit_yelt=True)
+        assert res.yelt_by_layer
+        assert engine_spec(res.engine).supports_emit_yelt
+
+    def test_auto_rejects_engine_kwargs(self, tiny_workload, risk_session):
+        """Constructor kwargs are engine-specific: forwarding them to
+        whichever engine the planner picks would crash or silently
+        misconfigure, so 'auto' refuses them outright."""
+        analysis = AggregateAnalysis(tiny_workload.portfolio,
+                                     tiny_workload.yet)
+        with pytest.raises(EngineError, match="explicit engine name"):
+            analysis.run("auto", n_workers=2)
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio)
+        with pytest.raises(EngineError, match="explicit engine name"):
+            session.aggregate(engine="auto", n_workers=2)
+
+    def test_runs_calibrate_later_plans(self, tiny_workload, risk_session):
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio)
+        seed_rate = session.plan().chosen.throughput_per_proc
+        session.aggregate(engine="vectorized")
+        est = next(e for e in session.plan().estimates
+                   if e.engine == "vectorized")
+        assert est.calibrated
+        assert est.throughput_per_proc != pytest.approx(seed_rate)
+
+
+# ---------------------------------------------------------------------------
+# boundary errors on the classic entry points (satellite)
+# ---------------------------------------------------------------------------
+
+class TestBoundaryErrors:
+    def test_unknown_engine_name_in_run(self, tiny_workload):
+        analysis = AggregateAnalysis(tiny_workload.portfolio,
+                                     tiny_workload.yet)
+        with pytest.raises(EngineError) as err:
+            analysis.run("quantum")
+        assert "available" in str(err.value)
+        for name in ALL_ENGINES:
+            assert name in str(err.value)
+
+    def test_run_all_validates_names_before_running(self, tiny_workload):
+        analysis = AggregateAnalysis(tiny_workload.portfolio,
+                                     tiny_workload.yet)
+        with pytest.raises(EngineError) as err:
+            analysis.run_all(["vectorized", "quantum"])
+        assert "available" in str(err.value)
+
+    def test_session_surfaces_unknown_engine(self, tiny_workload,
+                                             risk_session):
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio)
+        with pytest.raises(EngineError) as err:
+            session.aggregate(engine="quantum")
+        assert "available" in str(err.value)
+
+    def test_session_surfaces_unknown_dispatcher(self, tiny_workload,
+                                                 risk_session):
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio)
+        with pytest.raises(ConfigurationError, match="dispatcher"):
+            session.dispatcher("warp-drive")
+
+    def test_analysis_rejects_mismatched_session(self, tiny_workload,
+                                                 small_portfolio_workload,
+                                                 risk_session):
+        session = risk_session(small_portfolio_workload.yet)
+        with pytest.raises(EngineError, match="different YET"):
+            AggregateAnalysis(tiny_workload.portfolio, tiny_workload.yet,
+                              session=session)
+
+
+# ---------------------------------------------------------------------------
+# entry points as veneers over a session
+# ---------------------------------------------------------------------------
+
+class TestVeneers:
+    def test_engine_instances_are_not_closed_by_session(self, tiny_workload,
+                                                        risk_session):
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio)
+        mine = VectorizedEngine()
+        res = session.aggregate(engine=mine)
+        assert res.engine == "vectorized"
+        assert session.engine(mine) is mine
+
+    def test_session_engines_are_cached_and_warm(self, tiny_workload,
+                                                 risk_session):
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio)
+        assert session.engine("vectorized") is session.engine("vectorized")
+        assert isinstance(session.engine("vectorized"), Engine)
+
+    def test_engine_cache_keys_on_configuration(self, tiny_workload,
+                                                risk_session):
+        """Same (name, kwargs) -> same warm engine; different kwargs ->
+        different engine — never a silently mis-configured cache hit."""
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio)
+        default = session.engine("vectorized")
+        sparse = session.engine("vectorized", dense_max_entries=1)
+        assert sparse is not default
+        assert sparse.dense_max_entries == 1
+        assert session.engine("vectorized", dense_max_entries=1) is sparse
+
+    def test_kwarg_engines_do_not_accumulate_pools(self, tiny_workload,
+                                                   risk_session):
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio)
+        analysis = AggregateAnalysis(tiny_workload.portfolio,
+                                     tiny_workload.yet, session=session)
+        for _ in range(3):
+            analysis.run("multicore", n_workers=2)
+        live = [e for e in session._engines.values()
+                if getattr(e, "name", "") == "multicore"]
+        assert len(live) == 1
+        assert not session._extra_engines
+
+    def test_instance_plus_kwargs_rejected(self, tiny_workload,
+                                           risk_session):
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio)
+        with pytest.raises(EngineError, match="engine_kwargs"):
+            session.aggregate(engine=VectorizedEngine(), n_workers=2)
+
+    def test_service_rejects_mismatched_session_yet(self, tiny_workload,
+                                                    small_portfolio_workload,
+                                                    risk_session):
+        from repro.dfa.pricing import RealTimePricer
+        from repro.serve.service import PricingService
+
+        session = risk_session(small_portfolio_workload.yet)
+        with pytest.raises(ConfigurationError, match="different YET"):
+            PricingService(tiny_workload.yet, session=session)
+        with pytest.raises(ConfigurationError, match="different YET"):
+            RealTimePricer(tiny_workload.yet, session=session)
+
+    def test_sensitivities_reject_mismatched_session_yet(
+            self, tiny_workload, small_portfolio_workload, risk_session):
+        from repro.analytics.sensitivity import term_sensitivities
+        from repro.errors import AnalysisError
+
+        session = risk_session(small_portfolio_workload.yet)
+        with pytest.raises(AnalysisError, match="different YET"):
+            term_sensitivities(tiny_workload.portfolio.layers[0],
+                               tiny_workload.yet, session=session)
+
+    def test_service_rejects_dispatcher_plus_session(self, tiny_workload,
+                                                     risk_session):
+        from repro.serve.dispatch import InlineDispatcher
+        from repro.serve.service import PricingService
+
+        session = risk_session(tiny_workload.yet)
+        with pytest.raises(ConfigurationError, match="not both"):
+            PricingService(tiny_workload.yet, engine=InlineDispatcher(),
+                           session=session)
+
+    def test_pricer_engine_auto(self, tiny_workload):
+        from repro.dfa.pricing import RealTimePricer
+
+        with RealTimePricer(tiny_workload.yet, engine="auto") as pricer:
+            assert pricer.quote(tiny_workload.portfolio.layers[0]).premium > 0
+
+    def test_pricer_shares_a_session_substrate(self, tiny_workload,
+                                               risk_session):
+        from repro.dfa.pricing import RealTimePricer
+
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio)
+        with RealTimePricer(tiny_workload.yet, session=session) as pricer:
+            quote = pricer.quote(tiny_workload.portfolio.layers[0])
+            assert quote.premium > 0
+        # pricer close must not have torn down the shared session
+        assert not session.closed
+        session.aggregate(engine="vectorized")
+
+    def test_standalone_service_owns_and_closes_a_session(self,
+                                                          tiny_workload):
+        from repro.serve.service import PricingService
+
+        svc = PricingService(tiny_workload.yet)
+        assert svc._owned_session is not None
+        svc.quote(tiny_workload.portfolio.layers[0])
+        svc.close()
+        assert svc._owned_session.closed
+
+    def test_service_engine_auto_resolves_via_planner(self, tiny_workload,
+                                                      risk_session):
+        session = risk_session(tiny_workload.yet, tiny_workload.portfolio)
+        svc = session.pricing_service(engine="auto")
+        quote = svc.quote(tiny_workload.portfolio.layers[0])
+        assert quote.premium > 0
