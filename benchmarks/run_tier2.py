@@ -3,9 +3,9 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/run_tier2.py [--full] [--out-dir DIR]
-                                                  [--only {e13,e14,e15,e16}]
+                                                  [--only {e13,...,e17}]
 
-Four trajectory records are refreshed:
+Five trajectory records are refreshed:
 
 - ``BENCH_e13.json`` — the fused portfolio kernel vs the per-layer path;
 - ``BENCH_e14.json`` — the serving layer's micro-batched pricing vs one
@@ -13,7 +13,9 @@ Four trajectory records are refreshed:
 - ``BENCH_e15.json`` — the zero-copy shared-memory data plane vs the
   pickle ship on the pooled dispatch path;
 - ``BENCH_e16.json`` — one staged ``RiskSession`` vs per-call entry-point
-  construction across a mixed aggregate + quote + EP-curve workload.
+  construction across a mixed aggregate + quote + EP-curve workload;
+- ``BENCH_e17.json`` — fault-recovery latency (one injected worker kill
+  mid-batch) and degraded-mode throughput, answers bit-identical.
 
 The default (small) sizes finish in seconds so every PR can refresh the
 trajectory and compare against the committed records; ``--full`` runs
@@ -33,6 +35,7 @@ import bench_e13_fused_portfolio as e13
 import bench_e14_serving as e14
 import bench_e15_shm_data_plane as e15
 import bench_e16_session_reuse as e16
+import bench_e17_fault_recovery as e17
 
 #: Reduced shape for the per-PR tier-2 run: same layer counts, ~8x fewer
 #: occurrences, so the trajectory stays comparable but cheap.
@@ -168,9 +171,44 @@ def run_e16(full: bool, out_dir: Path | None, repeats: int) -> int:
     return status
 
 
+def run_e17(full: bool, out_dir: Path | None, repeats: int) -> int:
+    sizes = ("small", "medium", "large") if full else ("small", "medium")
+    record = e17.measure(sizes=sizes, repeats=repeats)
+    record["tier"] = "full" if full else "small"
+    path = e17.write_json(
+        record, out_dir / "BENCH_e17.json" if out_dir else None
+    )
+
+    print(f"wrote {path}")
+    print(f"{'size':>7} {'clean':>10} {'faulted':>10} {'recovery':>10} "
+          f"{'degraded':>10} {'slowdown':>9} {'deaths':>7}")
+    for r in record["rows"]:
+        print(f"{r['size']:>7} {r['clean_seconds']*1e3:>8.1f}ms "
+              f"{r['faulted_seconds']*1e3:>8.1f}ms "
+              f"{r['recovery_overhead_seconds']*1e3:>8.1f}ms "
+              f"{r['degraded_seconds']*1e3:>8.1f}ms "
+              f"{r['degraded_slowdown']:>8.2f}x {r['worker_deaths']:>7}")
+
+    status = 0
+    for r in record["rows"]:
+        if not r["bit_identical_after_recovery"]:
+            print(f"WARNING: e17 {r['size']} recovery changed answers",
+                  file=sys.stderr)
+            status = 1
+        if not r["bit_identical_degraded"]:
+            print(f"WARNING: e17 {r['size']} degraded fallback changed "
+                  "answers", file=sys.stderr)
+            status = 1
+        if r["worker_deaths"] < 1:
+            print(f"WARNING: e17 {r['size']} injected kill never fired",
+                  file=sys.stderr)
+            status = 1
+    return status
+
+
 #: Experiment registry for ``--only`` (insertion order = run order).
 EXPERIMENTS = {"e13": run_e13, "e14": run_e14, "e15": run_e15,
-               "e16": run_e16}
+               "e16": run_e16, "e17": run_e17}
 
 
 def main(argv: list[str] | None = None) -> int:

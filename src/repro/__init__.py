@@ -83,7 +83,8 @@ from repro.dfa import (
     tail_value_at_risk,
     value_at_risk,
 )
-from repro.errors import ReproError
+from repro.errors import ExecutionError, ReproError
+from repro.hpc import FaultPlan, PoolHealth, TaskPolicy, WorkPool
 from repro.serve import BatchPolicy, CachePolicy, PricingService
 from repro.session import ExecutionPlan, RiskSession
 from repro.util.rng import RngHierarchy
@@ -128,6 +129,11 @@ __all__ = [
     "tail_value_at_risk",
     "value_at_risk",
     "ReproError",
+    "ExecutionError",
+    "FaultPlan",
+    "PoolHealth",
+    "TaskPolicy",
+    "WorkPool",
     "PricingService",
     "BatchPolicy",
     "CachePolicy",

@@ -24,6 +24,14 @@ serial execution, also with identical results.
 The pool is constructed lazily on first use;
 :meth:`MulticoreEngine.close` (or ``with`` support) is the shutdown path
 and also frees the engine's shared-memory arena.
+
+Failure semantics: blocks execute under the supervised
+:class:`~repro.hpc.pool.WorkPool` contract — lost or timed-out blocks
+are resubmitted idempotently (pure functions of their index tuples, so
+re-execution cannot change answers) and terminal failures raise a typed
+:class:`~repro.errors.ExecutionError`.  Once the pool degrades
+(``pool.health.degraded``) the engine sweeps inline and serial with
+``details["degraded"] = True`` until :meth:`WorkPool.reset_health`.
 """
 
 from __future__ import annotations
@@ -173,6 +181,33 @@ class MulticoreEngine(Engine):
             for i in range(n_blocks)
             if bounds[i + 1] > bounds[i]
         ]
+        if self.pool.health.degraded:
+            # Graceful degradation: the pool has terminally failed too
+            # many consecutive times (see WorkPool's failure semantics),
+            # so the sweep runs serial on the calling thread — through
+            # the SAME trial-block decomposition the workers would have
+            # executed (a whole-YET sweep can differ by ulps from the
+            # blockwise one), keeping answers bit-identical — instead
+            # of betting on dead workers.
+            self.pool.health.degraded_calls += 1
+            offsets = yet.trial_offsets
+            final = np.concatenate(
+                [_run_block_shared((kernel, yet), int(offsets[b0]),
+                                   int(offsets[b1]), b0, b1)
+                 for b0, b1 in spans], axis=1)
+            ylt_by_layer = {
+                lid: YltTable(final[row])
+                for row, lid in enumerate(kernel.layer_ids)
+            }
+            return EngineResult(
+                engine=self.name,
+                ylt_by_layer=ylt_by_layer,
+                portfolio_ylt=YltTable.sum(list(ylt_by_layer.values())),
+                seconds=time.perf_counter() - t0,
+                details={"n_workers": 1, "n_blocks": len(spans),
+                         "fused_layers": kernel.n_layers,
+                         "transport": "inline", "degraded": True},
+            )
 
         use_shm = n_workers > 1 and shm.resolve_transport(self.transport,
                                                           EngineError)
@@ -203,5 +238,6 @@ class MulticoreEngine(Engine):
             seconds=time.perf_counter() - t0,
             details={"n_workers": n_workers, "n_blocks": len(spans),
                      "fused_layers": kernel.n_layers,
-                     "transport": "shm" if use_shm else "pickle"},
+                     "transport": "shm" if use_shm else "pickle",
+                     "degraded": False},
         )

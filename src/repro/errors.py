@@ -50,3 +50,27 @@ class AnalysisError(ReproError):
 
 class AdmissionError(ReproError):
     """The serving layer shed a request (queue full or latency SLO at risk)."""
+
+
+class ExecutionError(ReproError):
+    """A supervised parallel execution failed terminally.
+
+    Raised by :class:`~repro.hpc.pool.WorkPool` (and surfaced unchanged
+    by the dispatchers, engines, and the pricing service) once the task
+    policy's retry budget is exhausted — never for a transient worker
+    death or deadline miss, which supervision absorbs by resubmitting.
+    Carries the *failure chain*: every underlying exception observed
+    across the attempts, oldest first, so operators see the whole story
+    instead of the last raw executor traceback.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0,
+                 failures: tuple = ()) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.failures = tuple(failures)
+
+    @property
+    def failure_chain(self) -> tuple[str, ...]:
+        """One ``"ExcType: message"`` line per observed failure."""
+        return tuple(f"{type(f).__name__}: {f}" for f in self.failures)

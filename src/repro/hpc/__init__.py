@@ -18,9 +18,15 @@ The *real* (not simulated) parallel substrate is :mod:`repro.hpc.pool`
 plus the zero-copy shared-memory data plane of :mod:`repro.hpc.shm`:
 large read-only payloads (the YET, stacked kernels) live in
 ``multiprocessing.shared_memory`` segments and cross process boundaries
-as ~100-byte handles instead of pickled replicas.
+as ~100-byte handles instead of pickled replicas.  The pool is
+*supervised*: per-call :class:`~repro.hpc.pool.TaskPolicy` deadlines and
+retries resubmit lost work idempotently, :class:`~repro.hpc.pool.PoolHealth`
+records deaths/timeouts/degradation, and :mod:`repro.hpc.faults` injects
+deterministic failures for chaos testing.
 """
 
+from repro.hpc.faults import FaultEvent, FaultPlan, FaultSpec
+from repro.hpc.pool import PoolHealth, TaskPolicy, WorkPool
 from repro.hpc.shm import SharedArena, ShmArrayHandle, ShmSlab, shm_available
 from repro.hpc.memory import MemorySpace, TransferLedger
 from repro.hpc.device import DeviceProperties, SimulatedGpu
@@ -34,6 +40,12 @@ from repro.hpc.occupancy import OccupancyLimits, OccupancyResult, occupancy
 from repro.hpc.elasticity import DemandPhase, ProvisioningPlan, compare_provisioning
 
 __all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "PoolHealth",
+    "TaskPolicy",
+    "WorkPool",
     "SharedArena",
     "ShmArrayHandle",
     "ShmSlab",

@@ -1,4 +1,4 @@
-"""Portable work-pool wrapper (real processes when available, serial otherwise).
+"""Supervised work-pool wrapper (real processes when available, serial otherwise).
 
 The multicore engine and the MapReduce runtime can execute tasks through
 this wrapper.  On single-core or fork-restricted hosts the pool degrades
@@ -20,15 +20,56 @@ broken-pool recovery then re-send only the handles, never the payload:
 :attr:`WorkPool.payload_ships` counts how often a shared object actually
 crossed the initializer so callers (and the E15 bench) can assert the
 steady state ships nothing.
+
+Failure semantics
+-----------------
+Tasks submitted through :meth:`map` / :meth:`starmap` /
+:meth:`starmap_shared` are **supervised** under a per-call
+:class:`TaskPolicy`:
+
+- A worker death (``BrokenProcessPool``) loses only the tasks that had
+  not finished: the executor is cycled (re-sending handles, never the
+  payload) and the lost tasks are resubmitted after a jittered
+  exponential backoff.  Tasks must therefore be idempotent — every task
+  in this library is a pure function of its arguments, so re-execution
+  is the MapReduce recovery story applied to the in-node pool.
+- A batch that misses the policy's ``deadline_seconds`` is treated as a
+  wedged pool: already-finished results are kept, the executor is shut
+  down without waiting, and only the unfinished tasks are resubmitted.
+- Exceptions *raised by a task* are retried only when they match the
+  policy's ``retryable`` classes (transient-by-nature failures such as
+  an injected :class:`~repro.hpc.faults.PoisonedPayloadError`);
+  anything else is a genuine error and propagates unchanged.
+- When one task exhausts ``max_retries`` the call fails terminally with
+  a typed :class:`~repro.errors.ExecutionError` carrying the whole
+  failure chain — never a bare executor traceback.
+- After ``degrade_after`` *consecutive* terminal call failures the pool
+  flips :attr:`PoolHealth.degraded` and every later call runs inline and
+  serial: answers stay bit-identical, wall time gets worse, and the
+  session planner stops charging this substrate as warm.
+  :meth:`reset_health` is the operator's path back to pooled execution.
+
+:attr:`WorkPool.health` (a :class:`PoolHealth`) records deaths, retries,
+timeouts, cycles, and the degraded flag for callers up the stack.
+Deterministic fault injection for all of the above lives in
+:mod:`repro.hpc.faults` and is consulted only when a plan is installed.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
-from concurrent.futures import ProcessPoolExecutor
+import random
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
-__all__ = ["WorkPool", "available_parallelism"]
+from repro.errors import ConfigurationError, ExecutionError
+from repro.hpc import faults
+
+__all__ = ["PoolHealth", "TaskPolicy", "WorkPool", "available_parallelism"]
 
 
 def _resolve(shared):
@@ -45,6 +86,99 @@ def available_parallelism() -> int:
         return max(1, os.cpu_count() or 1)
 
 
+@dataclass(frozen=True)
+class TaskPolicy:
+    """Per-call supervision contract for pooled task execution.
+
+    Attributes
+    ----------
+    deadline_seconds:
+        Wall-clock budget for one dispatch attempt of the call's batch
+        (``None`` = no deadline).  A missed deadline keeps finished
+        results, cycles the executor, and resubmits the rest — it is a
+        *retry* trigger, not a terminal failure, until ``max_retries``
+        runs out.
+    max_retries:
+        Resubmissions allowed **per task** beyond its first attempt.
+    backoff_seconds:
+        Base of the exponential backoff between retry cycles.
+    backoff_jitter:
+        Uniform jitter fraction added to each backoff sleep (decorrelates
+        thundering-herd resubmission; drawn from the pool's seeded RNG so
+        tests stay deterministic).
+    retryable:
+        Extra exception classes raised *by tasks* that supervision may
+        retry.  Infrastructure failures (worker death, deadline) are
+        always retryable and need not be listed.
+    """
+
+    deadline_seconds: float | None = None
+    max_retries: int = 2
+    backoff_seconds: float = 0.05
+    backoff_jitter: float = 0.25
+    retryable: tuple = (faults.PoisonedPayloadError,)
+
+    def __post_init__(self) -> None:
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigurationError(
+                "deadline_seconds must be positive (or None)"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+        if self.backoff_seconds < 0 or self.backoff_jitter < 0:
+            raise ConfigurationError("backoff must be non-negative")
+
+
+@dataclass
+class PoolHealth:
+    """Observable record of one pool's failures and recoveries.
+
+    Exposed as :attr:`WorkPool.health` and surfaced upward by the pooled
+    dispatcher, the multicore engine, and the session — the "operational
+    failure data as a first-class signal" the ML-for-ODA codesign paper
+    argues for.  Counters only; no per-event history to grow unbounded.
+    """
+
+    worker_deaths: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    task_faults: int = 0
+    executor_cycles: int = 0
+    calls: int = 0
+    call_failures: int = 0
+    consecutive_failures: int = 0
+    degraded: bool = False
+    degraded_calls: int = 0
+    last_error: str | None = None
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+
+    def record_call_failure(self, error: BaseException,
+                            degrade_after: int) -> None:
+        self.call_failures += 1
+        self.consecutive_failures += 1
+        self.last_error = f"{type(error).__name__}: {error}"
+        if self.consecutive_failures >= degrade_after:
+            self.degraded = True
+
+    def snapshot(self) -> dict:
+        """JSON-ready copy (benches and ops endpoints embed this)."""
+        return {
+            "worker_deaths": self.worker_deaths,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "task_faults": self.task_faults,
+            "executor_cycles": self.executor_cycles,
+            "calls": self.calls,
+            "call_failures": self.call_failures,
+            "consecutive_failures": self.consecutive_failures,
+            "degraded": self.degraded,
+            "degraded_calls": self.degraded_calls,
+            "last_error": self.last_error,
+        }
+
+
 #: Per-worker slot for the object shipped by :meth:`WorkPool.starmap_shared`.
 _SHARED = None
 
@@ -58,6 +192,10 @@ def _call_shared(fn: Callable, *args):
     return fn(_resolve(_SHARED), *args)
 
 
+def _call_plain(fn: Callable, *args):
+    return fn(*args)
+
+
 def _noop(_i: int) -> None:
     """Warm-up barrier task (see :meth:`WorkPool.ensure_started`)."""
 
@@ -69,19 +207,35 @@ class WorkPool:
     ----------
     n_workers:
         Desired workers; ``None`` means the host's available parallelism.
+    policy:
+        Default :class:`TaskPolicy` for calls that do not pass their own.
+    degrade_after:
+        Consecutive terminal call failures before the pool flips to
+        degraded (inline serial) execution.
+    seed:
+        Seed for the backoff-jitter RNG (determinism for tests/benches).
 
     Notes
     -----
-    Tasks must be picklable top-level callables when ``n_workers > 1``.
-    The process pool is created lazily on the first parallel call and
-    reused until :meth:`close`; ``with WorkPool(...) as pool:`` closes it
-    on exit.
+    Tasks must be picklable top-level callables when ``n_workers > 1``,
+    and idempotent: supervision re-executes lost tasks (see the module
+    docstring's failure semantics).  The process pool is created lazily
+    on the first parallel call and reused until :meth:`close`;
+    ``with WorkPool(...) as pool:`` closes it on exit.
     """
 
-    def __init__(self, n_workers: int | None = None) -> None:
+    def __init__(self, n_workers: int | None = None, *,
+                 policy: TaskPolicy | None = None,
+                 degrade_after: int = 3,
+                 seed: int = 0) -> None:
         self.n_workers = n_workers if n_workers is not None else available_parallelism()
         if self.n_workers < 1:
             self.n_workers = 1
+        if degrade_after < 1:
+            raise ConfigurationError("degrade_after must be >= 1")
+        self.policy = policy if policy is not None else TaskPolicy()
+        self.degrade_after = degrade_after
+        self.health = PoolHealth()
         self._executor: ProcessPoolExecutor | None = None
         #: The object the current executor's workers were initialised
         #: with (via :meth:`starmap_shared`); ``None`` = no initializer.
@@ -91,6 +245,9 @@ class WorkPool:
         #: hundred bytes; for a plain object it is the full pickle.  A
         #: caller holding one shipment across runs sees this stay at 1.
         self.payload_ships = 0
+        #: Global task ordinal (fault plans key injections off this).
+        self._task_seq = itertools.count()
+        self._rng = random.Random(seed)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -105,10 +262,10 @@ class WorkPool:
         the cached portfolio kernel — therefore ship it zero times.
 
         A broken executor (a worker died mid-task) is also cycled, so a
-        lost worker costs one call, not the pool's lifetime — matching
-        the old per-call executors' recovery behaviour.  When ``shared``
-        is a handle-backed shipment that cycle re-sends handles, not the
-        payload: fresh workers re-attach the still-live segments.
+        lost worker costs one call, not the pool's lifetime.  When
+        ``shared`` is a handle-backed shipment that cycle re-sends
+        handles, not the payload: fresh workers re-attach the still-live
+        segments.
         """
         if self._executor is not None and (
             getattr(self._executor, "_broken", False)
@@ -145,16 +302,42 @@ class WorkPool:
         executor alone is not enough — ``ProcessPoolExecutor`` forks
         lazily on submission — so a round of no-op barrier tasks forces
         the processes (and the ``shared`` initializer) to actually run
-        now.  Serial pools (``n_workers == 1``) have nothing to start.
+        now.  Serial pools (``n_workers == 1``) and degraded pools have
+        nothing to start.
         """
-        if self.n_workers > 1:
+        if self.n_workers > 1 and not self.health.degraded:
             executor = self._executor_handle(shared=shared)
             list(executor.map(_noop, range(self.n_workers)))
 
+    def reset_health(self) -> None:
+        """Forget failure history and leave degraded mode (operator path
+        back to pooled execution once the underlying cause is fixed)."""
+        self.health = PoolHealth()
+
     def close(self) -> None:
-        """Shut down worker processes (idempotent)."""
+        """Shut down worker processes (idempotent).
+
+        A *broken* executor is shut down with ``wait=False`` and its
+        pending futures cancelled: there are no live workers left to
+        wait on, and joining a dead pool's manager thread while it still
+        holds queued work is how a session ``close()`` used to hang.
+        """
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            broken = bool(getattr(self._executor, "_broken", False))
+            self._executor.shutdown(wait=not broken, cancel_futures=broken)
+            self._executor = None
+            self._shared = None
+
+    def _abandon_executor(self) -> None:
+        """Drop the executor without waiting (supervision's cycle path).
+
+        Used when the pool is broken *or wedged past a deadline*: a
+        worker stuck in a slow task must not be joined — the fresh
+        executor takes over and the stragglers exit when their queue
+        drains.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
             self._shared = None
 
@@ -166,23 +349,26 @@ class WorkPool:
 
     # -- mapping -----------------------------------------------------------
 
-    def map(self, fn: Callable, items: Sequence) -> list:
-        """Apply ``fn`` to each item, preserving order."""
-        if self.n_workers == 1 or len(items) <= 1:
-            return [fn(item) for item in items]
-        return list(self._executor_handle().map(fn, items))
+    def map(self, fn: Callable, items: Sequence,
+            policy: TaskPolicy | None = None) -> list:
+        """Apply ``fn`` to each item, preserving order (supervised)."""
+        return self.starmap(fn, [(item,) for item in items], policy=policy)
 
-    def starmap(self, fn: Callable, arg_tuples: Iterable[tuple]) -> list:
-        """Apply ``fn(*args)`` per tuple, preserving order."""
+    def starmap(self, fn: Callable, arg_tuples: Iterable[tuple],
+                policy: TaskPolicy | None = None) -> list:
+        """Apply ``fn(*args)`` per tuple, preserving order (supervised)."""
         tuples = list(arg_tuples)
         if self.n_workers == 1 or len(tuples) <= 1:
             return [fn(*args) for args in tuples]
-        pool = self._executor_handle()
-        futures = [pool.submit(fn, *args) for args in tuples]
-        return [f.result() for f in futures]
+        if self.health.degraded:
+            self.health.degraded_calls += 1
+            return [fn(*args) for args in tuples]
+        return self._supervised(fn, None, tuples,
+                                policy if policy is not None else self.policy)
 
     def starmap_shared(self, fn: Callable, shared,
-                       arg_tuples: Iterable[tuple]) -> list:
+                       arg_tuples: Iterable[tuple],
+                       policy: TaskPolicy | None = None) -> list:
         """Apply ``fn(shared, *args)`` per tuple, preserving order.
 
         ``shared`` is delivered to each worker once through the pool
@@ -195,12 +381,135 @@ class WorkPool:
         initializer delivers only its handles and workers attach the
         payload as zero-copy views on first touch (serial pools resolve
         it inline, which shipments make free by pre-binding their local
-        payload).
+        payload).  Supervision (retries, deadlines, degraded fallback)
+        follows the module docstring's failure semantics.
         """
         tuples = list(arg_tuples)
         if self.n_workers == 1 or len(tuples) <= 1:
             local = _resolve(shared)
             return [fn(local, *args) for args in tuples]
-        pool = self._executor_handle(shared=shared)
-        futures = [pool.submit(_call_shared, fn, *args) for args in tuples]
-        return [f.result() for f in futures]
+        if self.health.degraded:
+            self.health.degraded_calls += 1
+            local = _resolve(shared)
+            return [fn(local, *args) for args in tuples]
+        return self._supervised(fn, shared, tuples,
+                                policy if policy is not None else self.policy)
+
+    # -- supervision -------------------------------------------------------
+
+    def _submit_one(self, executor, fn, shared, args):
+        """Submit one task attempt, applying any scheduled fault."""
+        call = _call_shared if shared is not None else _call_plain
+        spec = None
+        plan = faults.active_plan()
+        if plan is not None:
+            spec = plan.take(next(self._task_seq))
+        if spec is not None:
+            return executor.submit(faults.apply_fault, spec, call, fn, *args)
+        return executor.submit(call, fn, *args)
+
+    def _backoff(self, policy: TaskPolicy, cycle: int) -> None:
+        if policy.backoff_seconds <= 0:
+            return
+        delay = min(policy.backoff_seconds * (2 ** cycle), 1.0)
+        delay *= 1.0 + policy.backoff_jitter * self._rng.random()
+        time.sleep(delay)
+
+    def _supervised(self, fn, shared, tuples, policy: TaskPolicy) -> list:
+        """Run one batch under the supervision contract.
+
+        Results are collected in submission order; a cycle keeps
+        whatever finished and resubmits only the unfinished tasks, so a
+        lost worker costs one re-execution of its in-flight tasks, never
+        the whole sweep.
+        """
+        n = len(tuples)
+        results: list = [None] * n
+        pending = list(range(n))
+        attempts = [0] * n
+        failures: list[BaseException] = []
+        cycle = 0
+        self.health.calls += 1
+        while True:
+            executor = self._executor_handle(shared=shared)
+            futures = {}
+            infra: BaseException | None = None
+            for i in pending:
+                attempts[i] += 1
+                try:
+                    futures[i] = self._submit_one(executor, fn, shared,
+                                                  tuples[i])
+                except BrokenExecutor as exc:
+                    # Workers died during submission (e.g. killed at
+                    # init): everything unsubmitted is lost this cycle.
+                    self.health.worker_deaths += 1
+                    failures.append(exc)
+                    infra = exc
+                    break
+            start = time.perf_counter()
+            still: list[int] = [i for i in pending if i not in futures]
+            for i in pending:
+                if i not in futures:
+                    continue
+                try:
+                    if infra is not None:
+                        # The executor is being abandoned; only harvest
+                        # results that are already done.
+                        timeout = 0.0
+                    elif policy.deadline_seconds is None:
+                        timeout = None
+                    else:
+                        timeout = max(
+                            policy.deadline_seconds
+                            - (time.perf_counter() - start), 0.0,
+                        )
+                    results[i] = futures[i].result(timeout=timeout)
+                except (BrokenExecutor, _FuturesTimeout, TimeoutError) as exc:
+                    if infra is None:
+                        if isinstance(exc, BrokenExecutor):
+                            self.health.worker_deaths += 1
+                            infra = exc
+                        else:
+                            self.health.timeouts += 1
+                            infra = TimeoutError(
+                                f"batch deadline of "
+                                f"{policy.deadline_seconds}s exceeded with "
+                                f"{len(pending) - len(still)} tasks unfinished"
+                            )
+                        failures.append(infra)
+                    futures[i].cancel()
+                    still.append(i)
+                except Exception as exc:
+                    if not isinstance(exc, policy.retryable):
+                        raise  # genuine task error: not supervision's to eat
+                    self.health.task_faults += 1
+                    failures.append(exc)
+                    still.append(i)
+            pending = still
+            if not pending:
+                self.health.record_success()
+                return results
+            exhausted = [i for i in pending
+                         if attempts[i] > policy.max_retries]
+            if exhausted:
+                error = ExecutionError(
+                    f"{len(exhausted)} task(s) failed terminally after "
+                    f"{policy.max_retries} retr"
+                    f"{'y' if policy.max_retries == 1 else 'ies'} "
+                    f"(chain: {[type(f).__name__ for f in failures]})",
+                    attempts=max(attempts[i] for i in exhausted),
+                    failures=tuple(failures),
+                )
+                self.health.record_call_failure(error, self.degrade_after)
+                if infra is not None:
+                    self._abandon_executor()
+                raise error
+            self.health.retries += len(pending)
+            if infra is not None:
+                # Worker death or wedged batch: cycle the executor.  The
+                # rebuild in the next loop iteration re-sends handles
+                # only (see _executor_handle).
+                self.health.executor_cycles += 1
+                self._abandon_executor()
+            self._backoff(policy, cycle)
+            cycle += 1

@@ -22,7 +22,9 @@ This module provides the transport that removes those copies:
   serving layer writes each micro-batch's stacked kernel into the same
   slab, so steady-state batches cost one ``memcpy`` instead of a pickle
   round-trip per task.  The slab grows geometrically (fresh segment,
-  old one unlinked) when a payload outgrows it.
+  old one unlinked) when a payload outgrows it, and its segments carry
+  generation-tagged names so worker-side caches evict an outgrown
+  generation's mapping the moment they attach its successor.
 
 Attach-side bookkeeping: each process caches its segment mappings, so N
 handles into one segment map it once, and attached segments are
@@ -39,6 +41,9 @@ identical results.
 from __future__ import annotations
 
 import atexit
+import os
+import re
+import secrets
 import threading
 from dataclasses import dataclass
 
@@ -189,11 +194,46 @@ def _attach_untracked(name: str):
             resource_tracker.register = original
 
 
+#: Slab segment names are generation-tagged (``repro-slab-<uid>-g<N>``)
+#: so the *attach* side can recognise two generations of the same slab
+#: and evict the stale mapping the moment the newer one arrives.
+_SLAB_NAME_RE = re.compile(r"^repro-slab-(?P<uid>[0-9a-f]+)-g(?P<gen>\d+)$")
+
+
+def _evict_stale_slab_mappings(name: str) -> None:
+    """Unmap older generations of the slab ``name`` belongs to.
+
+    Caller holds ``_ATTACHED_LOCK``.  Without this, a worker that
+    attached generation N of a slab kept that mapping cached until
+    process exit after the slab rolled to generation N+1 — one stale
+    mapping (and its pinned pages) leaked per outgrown generation.  A
+    mapping still pinned by a live view (``BufferError``) is kept and
+    retried at the next generation roll: in-flight readers are never
+    yanked.
+    """
+    match = _SLAB_NAME_RE.match(name)
+    if match is None:
+        return
+    uid, gen = match.group("uid"), int(match.group("gen"))
+    for other in list(_ATTACHED):
+        other_match = _SLAB_NAME_RE.match(other)
+        if (other_match is None or other_match.group("uid") != uid
+                or int(other_match.group("gen")) >= gen):
+            continue
+        try:
+            _ATTACHED[other].close()
+        except BufferError:  # pragma: no cover - view still live
+            continue
+        del _ATTACHED[other]
+
+
 def _attach_segment(name: str):
     """This process's mapping of segment ``name`` (created once, cached).
 
     The owner's own mapping is reused directly — re-attaching in the
     creating process would double-map and confuse tracker bookkeeping.
+    Attaching a newer slab generation evicts the cached mapping of its
+    predecessors (see :func:`_evict_stale_slab_mappings`).
     """
     with _OWNED_LOCK:
         owned = _OWNED.get(name)
@@ -204,6 +244,7 @@ def _attach_segment(name: str):
         if segment is None:
             segment = _attach_untracked(name)
             _ATTACHED[name] = segment
+            _evict_stale_slab_mappings(name)
     return segment
 
 
@@ -411,6 +452,12 @@ class ShmSlab:
     slab rolls to a fresh, geometrically larger segment; the old one is
     unlinked (workers holding a stale mapping keep it alive until they
     next attach, so in-flight readers are never yanked).
+
+    Segments are named ``repro-slab-<uid>-g<generation>``: the attach
+    side (see :func:`_evict_stale_slab_mappings`) recognises two
+    generations of one slab and unmaps the older the moment a worker
+    touches the newer, so outgrown generations stop leaking one cached
+    mapping each until worker exit.
     """
 
     def __init__(self, capacity_bytes: int = 1 << 20) -> None:
@@ -424,6 +471,7 @@ class ShmSlab:
         self._capacity = int(capacity_bytes)
         self._segment = None
         self._closed = False
+        self._uid = f"{os.getpid():x}{secrets.token_hex(3)}"
         #: Segment rolls since construction (observability for benches).
         self.generations = 0
 
@@ -467,7 +515,17 @@ class ShmSlab:
     def _roll(self, capacity: int) -> None:
         if self._segment is not None:
             _unlink_owned(self._segment.name)
-        self._segment = _shared_memory.SharedMemory(create=True, size=capacity)
+        name = f"repro-slab-{self._uid}-g{self.generations + 1}"
+        try:
+            self._segment = _shared_memory.SharedMemory(
+                create=True, size=capacity, name=name
+            )
+        except FileExistsError:  # pragma: no cover - uid collision
+            self._uid = f"{os.getpid():x}{secrets.token_hex(3)}"
+            self._segment = _shared_memory.SharedMemory(
+                create=True, size=capacity,
+                name=f"repro-slab-{self._uid}-g{self.generations + 1}",
+            )
         _register_owned(self._segment)
         self.generations += 1
 

@@ -20,7 +20,12 @@ the service.  It runs in two modes:
   full, whichever comes first.  What a many-user deployment runs.
 
 Failures in ``flush_fn`` propagate to every future in the failed batch;
-the batcher itself stays usable.
+the batcher itself stays usable.  Under the serving layer's failure
+semantics that means a terminal pooled failure (a typed
+:class:`~repro.errors.ExecutionError` after the supervised pool's
+retries are exhausted) fails exactly the batch that hit it — later
+batches run normally, degraded to inline execution if the pool has
+given up (see :mod:`repro.serve.dispatch`).
 """
 
 from __future__ import annotations

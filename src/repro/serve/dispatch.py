@@ -26,6 +26,23 @@ substrates are provided, mirroring the engine family:
 
 Both close cleanly; :meth:`Dispatcher.warmup` lets the service pay
 worker spawn and YET delivery outside any request's SLO window.
+
+Failure semantics
+-----------------
+Pooled batches run under the supervised :class:`~repro.hpc.pool.WorkPool`
+contract (see its module docstring): a worker death or deadline miss
+resubmits only the lost trial blocks — idempotent pure functions, so the
+final matrix is bit-identical to a fault-free run — and a terminal
+failure surfaces as a typed :class:`~repro.errors.ExecutionError`
+carrying the whole failure chain.  Callers may pass a per-batch
+:class:`~repro.hpc.pool.TaskPolicy` through :meth:`Dispatcher.run` (the
+pricing service derives one from its SLO so request deadlines reach the
+workers).  Once the pool degrades (``pool.health.degraded``, after
+consecutive terminal failures) the pooled dispatcher executes batches
+inline on the calling thread — same answers, worse wall time — and
+reports ``n_procs == 1`` so admission control and the planner stop
+modelling parallelism that no longer exists.  :attr:`Dispatcher.health`
+exposes the :class:`~repro.hpc.pool.PoolHealth` record upward.
 """
 
 from __future__ import annotations
@@ -39,7 +56,7 @@ from repro.core.kernels import PortfolioKernel
 from repro.core.tables import YetTable
 from repro.errors import ConfigurationError
 from repro.hpc import shm
-from repro.hpc.pool import WorkPool
+from repro.hpc.pool import PoolHealth, TaskPolicy, WorkPool
 
 __all__ = ["Dispatcher", "InlineDispatcher", "PooledDispatcher",
            "make_dispatcher"]
@@ -59,9 +76,20 @@ class Dispatcher(abc.ABC):
         """Transport the next batch will ride (diagnostic surface)."""
         return "inline"
 
+    @property
+    def health(self) -> PoolHealth | None:
+        """The substrate's :class:`~repro.hpc.pool.PoolHealth` (``None``
+        for in-process substrates, which have no workers to lose)."""
+        return None
+
     @abc.abstractmethod
-    def run(self, kernel: PortfolioKernel, yet: YetTable) -> np.ndarray:
-        """The final ``(L, n_trials)`` matrix (aggregate terms applied)."""
+    def run(self, kernel: PortfolioKernel, yet: YetTable,
+            policy: TaskPolicy | None = None) -> np.ndarray:
+        """The final ``(L, n_trials)`` matrix (aggregate terms applied).
+
+        ``policy`` supervises pooled execution (deadline, retries); the
+        inline substrate has no workers to supervise and ignores it.
+        """
 
     def warmup(self, yet: YetTable) -> None:
         """Pay one-off setup costs (worker spawn, YET shipping) now."""
@@ -84,7 +112,8 @@ class InlineDispatcher(Dispatcher):
     def __init__(self, block_occurrences: int | None = None) -> None:
         self.block_occurrences = block_occurrences
 
-    def run(self, kernel: PortfolioKernel, yet: YetTable) -> np.ndarray:
+    def run(self, kernel: PortfolioKernel, yet: YetTable,
+            policy: TaskPolicy | None = None) -> np.ndarray:
         return kernel.run(
             yet.trials, yet.event_ids, yet.n_trials,
             block_occurrences=self.block_occurrences,
@@ -160,15 +189,25 @@ class PooledDispatcher(Dispatcher):
 
     @property
     def n_procs(self) -> int:  # type: ignore[override]
-        return self.pool.n_workers
+        # A degraded pool executes inline: admission control and the
+        # planner must model serial throughput, not phantom workers.
+        return 1 if self.pool.health.degraded else self.pool.n_workers
+
+    @property
+    def health(self) -> PoolHealth:
+        """The shared pool's failure/recovery record."""
+        return self.pool.health
 
     @property
     def transport_active(self) -> str:
-        """``"shm"`` when the data plane will carry the next batch."""
+        """``"shm"`` when the data plane will carry the next batch;
+        ``"inline"`` once the pool has degraded to serial fallback."""
+        if self.pool.health.degraded:
+            return "inline"
         return "shm" if self._shm_active() else "pickle"
 
     def _shm_active(self) -> bool:
-        if self.pool.n_workers <= 1:
+        if self.pool.n_workers <= 1 or self.pool.health.degraded:
             return False
         return shm.resolve_transport(self.transport, ConfigurationError)
 
@@ -196,17 +235,36 @@ class PooledDispatcher(Dispatcher):
         with self._lock:
             self.pool.ensure_started(shared)
 
-    def run(self, kernel: PortfolioKernel, yet: YetTable) -> np.ndarray:
-        shared = self._bundle(yet)
+    def _spans(self, yet: YetTable) -> list[tuple[int, int, int, int]]:
+        """The batch's trial-block decomposition: ``(r0, r1, t0, t1)``
+        row/trial spans, one per worker (capped by trial count)."""
         n_trials = yet.n_trials
         offsets = yet.trial_offsets
         n_blocks = min(self.pool.n_workers, n_trials)
         bounds = np.linspace(0, n_trials, n_blocks + 1).astype(int)
-        spans = [
+        return [
             (int(offsets[b0]), int(offsets[b1]), int(b0), int(b1))
             for b0, b1 in zip(bounds[:-1], bounds[1:])
             if b1 > b0
         ]
+
+    def run(self, kernel: PortfolioKernel, yet: YetTable,
+            policy: TaskPolicy | None = None) -> np.ndarray:
+        if self.pool.health.degraded:
+            # Graceful degradation: the pool has failed terminally too
+            # many consecutive times, so the batch runs on the calling
+            # thread — but through the SAME trial-block decomposition
+            # the workers would have executed (a whole-YET sweep can
+            # differ by ulps from the blockwise one), so degraded
+            # answers stay bit-identical to pooled ones.  No slab
+            # packing, no handle ships, nothing left to break.
+            self.pool.health.degraded_calls += 1
+            shared = (yet.trials, yet.event_ids)
+            return np.concatenate(
+                [_sweep_rows(shared, kernel, r0, r1, t0, t1)
+                 for r0, r1, t0, t1 in self._spans(yet)], axis=1)
+        shared = self._bundle(yet)
+        spans = self._spans(yet)
         if self._shm_active() and len(spans) > 1:
             # The batch kernel rides the reusable slab: one memcpy here,
             # ~1 KB of handles per task, no per-task unpickle of the
@@ -218,6 +276,7 @@ class PooledDispatcher(Dispatcher):
                 partials = self.pool.starmap_shared(
                     _sweep_rows_handles, shared,
                     [(handles, r0, r1, t0, t1) for r0, r1, t0, t1 in spans],
+                    policy=policy,
                 )
         else:
             # Same serialisation as the slab branch: a concurrent
@@ -227,6 +286,7 @@ class PooledDispatcher(Dispatcher):
                 partials = self.pool.starmap_shared(
                     _sweep_rows, shared,
                     [(kernel, r0, r1, t0, t1) for r0, r1, t0, t1 in spans],
+                    policy=policy,
                 )
         return np.concatenate(partials, axis=1)
 

@@ -23,6 +23,23 @@ The synchronous helpers (:meth:`quote`, :meth:`quote_many`,
 Throughput framing follows the MapReduce companion study (Yao, Varghese
 & Rau-Chaplin 2013): once one aggregate run is seconds, the binding
 problem is many users per second, not one run's wall time.
+
+Failure semantics
+-----------------
+A worker death or deadline overrun inside a pooled batch is absorbed by
+:class:`~repro.hpc.pool.WorkPool` supervision — the lost trial blocks
+re-execute and every ticket in the batch still resolves with results
+bit-identical to a fault-free sweep.  The admission SLO is propagated
+into pooled dispatch as a per-batch
+:class:`~repro.hpc.pool.TaskPolicy` deadline, so a wedged worker cannot
+hold a quote past the latency the service promised.  Only a *terminal*
+failure (retry budget exhausted, or a genuine task error) reaches the
+tickets, and it reaches them typed: every future in the failed batch
+resolves with an :class:`~repro.errors.ExecutionError` carrying the
+failure chain, never a bare executor traceback.  The batcher and the
+service survive a failed batch; once the pool degrades
+(:attr:`pool_health` ``.degraded``) batches price inline until an
+operator resets the pool's health.
 """
 
 from __future__ import annotations
@@ -37,7 +54,9 @@ from repro.core.kernels import PortfolioKernel
 from repro.core.layer import Layer
 from repro.core.tables import YetTable, YltTable
 from repro.dfa.quote import PricingQuote, premium_components
-from repro.errors import AdmissionError, AnalysisError, ConfigurationError
+from repro.errors import (AdmissionError, AnalysisError, ConfigurationError,
+                          ExecutionError, ReproError)
+from repro.hpc.pool import TaskPolicy
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import BatchPolicy, MicroBatcher, Ticket
 from repro.serve.cache import CachePolicy, ResultCache, layer_digest
@@ -184,6 +203,15 @@ class PricingService:
         self.admission = AdmissionController(
             slo_seconds=slo_seconds, max_pending=max_pending
         )
+        # The admission SLO reaches the workers: pooled batches run
+        # under a deadline-bearing TaskPolicy, so a wedged worker is
+        # cycled and its blocks re-executed instead of quietly holding
+        # quotes past the promised latency.  (No SLO = no deadline; the
+        # pool's default retry policy still applies.)
+        self._dispatch_policy = (
+            TaskPolicy(deadline_seconds=slo_seconds)
+            if slo_seconds is not None else None
+        )
         self.batcher = MicroBatcher(self._price_batch, batch)
         # The cache-key metric component carries the loadings: a shared
         # ResultCache between services configured with different premium
@@ -205,6 +233,12 @@ class PricingService:
             self.batcher.start()
 
     # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def pool_health(self):
+        """The dispatch substrate's :class:`~repro.hpc.pool.PoolHealth`
+        (``None`` for inline dispatch — nothing to supervise)."""
+        return self.dispatcher.health
 
     def warmup(self) -> None:
         """Pre-pay dispatcher setup (worker spawn, YET shipping)."""
@@ -358,7 +392,19 @@ class PricingService:
             dense_max_entries=self.dense_max_entries,
         )
         t0 = time.perf_counter()
-        final = self.dispatcher.run(kernel, yet)
+        try:
+            final = self.dispatcher.run(kernel, yet,
+                                        policy=self._dispatch_policy)
+        except ReproError:
+            raise  # already typed (ExecutionError from supervision etc.)
+        except Exception as exc:
+            # Never hand tickets a bare executor traceback: terminal
+            # execution failures surface typed, with their chain.
+            raise ExecutionError(
+                f"batch of {len(requests)} request(s) failed terminally: "
+                f"{type(exc).__name__}: {exc}",
+                attempts=1, failures=(exc,),
+            ) from exc
         sweep_seconds = time.perf_counter() - t0
         # Simulation throughput of this sweep: the whole trial set passed
         # once for every request in the batch.  Stamped into quote

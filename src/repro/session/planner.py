@@ -118,6 +118,8 @@ class ExecutionPlan:
             origin = "measured" if est.calibrated else "seed"
             detail = (f"throughput {est.throughput_per_proc:.3g} ({origin}), "
                       f"startup {est.startup_seconds:.3f}s")
+            if est.note:
+                detail += f"; {est.note}"
             if not est.eligible:
                 lines.append(f"  {marker} {est.engine:<11} ineligible — {est.note}")
                 continue
@@ -180,15 +182,19 @@ class EnginePlanner:
 
     def plan(self, workload: str, *, n_trials: int, n_occurrences: int,
              n_layers: int = 1, pool_warm: bool = False,
-             transport: str = "shm",
+             pool_degraded: bool = False, transport: str = "shm",
              require_emit_yelt: bool = False) -> ExecutionPlan:
         """Price every auto candidate and choose the cheapest.
 
         ``pool_warm`` waives process-pool startup (the session already
-        paid it); ``transport`` is recorded for the chosen substrate
-        (in-process engines always report ``"inline"``);
-        ``require_emit_yelt`` marks engines without YELT support
-        ineligible (a capability constraint, visible in ``explain()``).
+        paid it); ``pool_degraded`` prices process-pool candidates as
+        the serial fallback they have become — one processor, no warm
+        credit, noted in ``explain()`` — so a degraded pool is never
+        charged as parallel capacity; ``transport`` is recorded for the
+        chosen substrate (in-process engines always report
+        ``"inline"``); ``require_emit_yelt`` marks engines without YELT
+        support ineligible (a capability constraint, visible in
+        ``explain()``).
         """
         if workload not in _WORKLOADS:
             raise ConfigurationError(
@@ -222,14 +228,23 @@ class EnginePlanner:
                     eligible=False, note="single-core host (no pool to win on)",
                 ))
                 continue
+            note = ""
+            if spec.parallelism == "process-pool" and pool_degraded:
+                # The pool has fallen back to serial inline execution:
+                # price what will actually run (one processor, no spawn
+                # to pay — and no warm parallel capacity to credit).
+                procs = 1
+                note = "pool degraded — priced as serial fallback"
             runtime = spec.stage_spec(lanes, est.rate).runtime_seconds(procs)
             startup = 0.0
-            if spec.parallelism == "process-pool" and not pool_warm:
+            if (spec.parallelism == "process-pool" and not pool_warm
+                    and not pool_degraded):
                 startup = spec.startup_seconds
             estimates.append(EngineEstimate(
                 engine=spec.name, n_procs=procs,
                 throughput_per_proc=est.rate, calibrated=est.calibrated,
                 runtime_seconds=runtime, startup_seconds=startup,
+                note=note,
             ))
         eligible = [e for e in estimates if e.eligible]
         if not eligible:

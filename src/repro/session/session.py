@@ -117,6 +117,8 @@ class _StagedMulticore(Engine):
                      "n_blocks": min(dispatcher.n_procs, yet.n_trials),
                      "fused_layers": kernel.n_layers,
                      "transport": dispatcher.transport_active,
+                     "degraded": bool(dispatcher.health is not None
+                                      and dispatcher.health.degraded),
                      "session_staged": True},
         )
 
@@ -229,6 +231,15 @@ class RiskSession:
     # -- staged substrates -------------------------------------------------
 
     @property
+    def pool_health(self):
+        """The staged pool's :class:`~repro.hpc.pool.PoolHealth` record
+        (``None`` until a pooled substrate exists).  ``degraded`` here
+        means pooled workloads run serial inline fallbacks until
+        :meth:`~repro.hpc.pool.WorkPool.reset_health`."""
+        return (self._pooled.pool.health
+                if self._pooled is not None else None)
+
+    @property
     def payload_ships(self) -> int:
         """Times the staged payload crossed to the session's pool workers
         (0 until a pooled workload runs; stays 1 across a whole mixed
@@ -319,13 +330,20 @@ class RiskSession:
         if n_layers is None:
             pf = portfolio if portfolio is not None else self.portfolio
             n_layers = pf.n_layers if pf is not None else 1
-        pool_warm = self._pooled is not None and self._pooled.pool.started
+        # A degraded pool is not warm capacity: it executes serial
+        # inline fallbacks, so the planner must price it that way
+        # rather than crediting parallelism that no longer exists.
+        pool_degraded = (self._pooled is not None
+                         and self._pooled.pool.health.degraded)
+        pool_warm = (self._pooled is not None and self._pooled.pool.started
+                     and not pool_degraded)
         plan = self._planner.plan(
             workload,
             n_trials=self.yet.n_trials,
             n_occurrences=self.yet.n_occurrences,
             n_layers=n_layers,
             pool_warm=pool_warm,
+            pool_degraded=pool_degraded,
             transport=self._transport_label(),
             require_emit_yelt=require_emit_yelt,
         )

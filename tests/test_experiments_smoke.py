@@ -131,3 +131,31 @@ class TestBenchE16Smoke:
         # the session invariant holds even at toy scale
         assert row["session_payload_ships"] <= 1
         assert row["baseline_seconds"] > 0 and row["session_seconds"] > 0
+
+
+class TestBenchE17Smoke:
+    """Tiny-shape run of the fault-recovery bench (tier-1 guard)."""
+
+    def test_e17_measures_and_round_trips(self):
+        sys.path.insert(0, str(BENCH_DIR))
+        try:
+            import bench_e17_fault_recovery as e17
+        finally:
+            sys.path.remove(str(BENCH_DIR))
+
+        tiny = dict(n_layers=2, n_trials=60, mean_events_per_trial=10.0,
+                    elts_per_layer=1, elt_rows=50, catalog_events=200)
+        row = e17.measure_row("tiny", tiny, repeats=1)
+        # shape-stability: the keys run_tier2 prints and gates on
+        for key in ("clean_seconds", "faulted_seconds",
+                    "recovery_overhead_seconds", "degraded_seconds",
+                    "degraded_slowdown", "bit_identical_after_recovery",
+                    "bit_identical_degraded", "worker_deaths", "retries",
+                    "executor_cycles", "fault_reports",
+                    "health_after_fault"):
+            assert key in row
+        # the recovery contract holds even at toy scale
+        assert row["bit_identical_after_recovery"] is True
+        assert row["bit_identical_degraded"] is True
+        assert row["worker_deaths"] >= 1
+        assert row["fault_reports"][0]["pending"] == 0

@@ -1,0 +1,368 @@
+"""Chaos suite: deterministic fault injection against the supervised pool.
+
+Every test here drives :mod:`repro.hpc.faults` through the real
+execution stack — pool, engine, dispatcher, pricing service — and
+asserts the recovery contract: answers bit-identical to a fault-free
+run, :class:`~repro.hpc.pool.PoolHealth` recording what happened, and
+plans fully consumed (a scheduled fault that never fired is a test that
+proved nothing).
+
+The ``chaos`` marker keeps the set addressable (``-m chaos`` /
+``-m "not chaos"``); the tests themselves are tier-1 fast — tiny
+workloads, zero/near-zero backoff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engines.multicore import MulticoreEngine
+from repro.errors import ConfigurationError, ExecutionError
+from repro.hpc import faults, shm
+from repro.hpc.faults import FaultPlan, FaultSpec, PoisonedPayloadError
+from repro.hpc.pool import TaskPolicy, WorkPool
+from repro.serve.dispatch import PooledDispatcher
+from repro.serve.service import PricingService
+
+pytestmark = pytest.mark.chaos
+
+#: Fast supervision for tests: retries without real backoff sleeps.
+FAST = TaskPolicy(max_retries=2, backoff_seconds=0.0)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    """A test must never leak its fault plan into the next one."""
+    yield
+    faults.clear()
+
+
+def _square(x):
+    return x * x
+
+
+def _scale(shared, x):
+    return shared * x
+
+
+# ---------------------------------------------------------------------------
+# plan construction and the env gate
+# ---------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("explode", 0)
+
+    def test_negative_seq_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("kill", -1)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("delay", 0, delay_seconds=-0.1)
+
+    def test_duplicate_seq_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan([FaultSpec("kill", 3), FaultSpec("poison", 3)])
+
+    def test_take_consumes_exactly_once(self):
+        plan = FaultPlan.kill_task(2)
+        assert plan.take(0) is None
+        spec = plan.take(2)
+        assert spec is not None and spec.kind == "kill"
+        assert plan.take(2) is None  # consumed
+        assert plan.exhausted
+        assert [e.kind for e in plan.events] == ["kill"]
+
+    def test_from_env_grammar(self):
+        plan = FaultPlan.from_env("kill@3, delay@7:0.05 ,poison@2")
+        specs = {s.task_seq: s for s in plan._pending.values()}
+        assert specs[3].kind == "kill"
+        assert specs[7].kind == "delay"
+        assert specs[7].delay_seconds == pytest.approx(0.05)
+        assert specs[2].kind == "poison"
+
+    def test_from_env_empty_is_none(self):
+        assert FaultPlan.from_env("") is None
+        assert FaultPlan.from_env("   ") is None
+
+    def test_from_env_bad_item_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_env("kill@three")
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_env("frob@1")
+
+    def test_env_variable_gates_activation(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "poison@0")
+        faults.clear()  # forget the earlier env probe
+        plan = faults.active_plan()
+        assert plan is not None and plan.n_pending == 1
+        faults.clear()
+        monkeypatch.delenv(faults.ENV_VAR)
+        assert faults.active_plan() is None
+
+    def test_report_is_json_ready(self):
+        plan = FaultPlan.delay_task(1, 0.5, seed=7)
+        plan.take(1)
+        report = plan.report()
+        assert report["seed"] == 7
+        assert report["pending"] == 0
+        assert report["events"][0]["kind"] == "delay"
+
+
+# ---------------------------------------------------------------------------
+# recovery through the raw pool
+# ---------------------------------------------------------------------------
+
+class TestPoolRecovery:
+    def test_kill_recovers_bit_identical(self):
+        with WorkPool(n_workers=2, seed=3) as pool:
+            with faults.inject(FaultPlan.kill_task(2)) as plan:
+                got = pool.map(_square, list(range(8)), policy=FAST)
+            assert got == [i * i for i in range(8)]
+            assert plan.exhausted
+            assert pool.health.worker_deaths >= 1
+            assert pool.health.retries >= 1
+            assert pool.health.executor_cycles >= 1
+            assert not pool.health.degraded
+            assert pool.health.consecutive_failures == 0
+
+    def test_deadline_miss_recovers(self):
+        policy = TaskPolicy(deadline_seconds=0.2, max_retries=2,
+                            backoff_seconds=0.0)
+        with WorkPool(n_workers=2) as pool:
+            with faults.inject(FaultPlan.delay_task(1, 5.0)) as plan:
+                got = pool.map(_square, [1, 2, 3, 4], policy=policy)
+            assert got == [1, 4, 9, 16]
+            assert plan.exhausted
+            assert pool.health.timeouts >= 1
+
+    def test_poison_retried_by_default_policy(self):
+        with WorkPool(n_workers=2) as pool:
+            with faults.inject(FaultPlan.poison_task(0)) as plan:
+                got = pool.starmap_shared(_scale, 10,
+                                          [(1,), (2,), (3,)], policy=FAST)
+            assert got == [10, 20, 30]
+            assert plan.exhausted
+            assert pool.health.task_faults == 1
+
+    def test_poison_not_retryable_propagates(self):
+        policy = TaskPolicy(max_retries=2, backoff_seconds=0.0, retryable=())
+        with WorkPool(n_workers=2) as pool:
+            with faults.inject(FaultPlan.poison_task(0)):
+                with pytest.raises(PoisonedPayloadError):
+                    pool.map(_square, [1, 2, 3], policy=policy)
+
+    def test_orphan_is_reclaimable(self):
+        with WorkPool(n_workers=2) as pool:
+            with faults.inject(FaultPlan([FaultSpec("orphan", 0)])) as plan:
+                got = pool.map(_square, [1, 2, 3], policy=FAST)
+            assert got == [1, 4, 9]  # the task itself ran clean
+            if shm.shm_available():
+                assert len(plan.orphaned) == 1
+                name = plan.orphaned[0]
+                assert name in shm.active_segment_names()
+                assert plan.reclaim_orphans() == 1
+                assert name not in shm.active_segment_names()
+
+    def test_exhausted_retries_raise_execution_error(self):
+        # Kill every attempt: 3 tasks x (1 + max_retries) attempts.
+        plan = FaultPlan([FaultSpec("kill", i) for i in range(12)])
+        policy = TaskPolicy(max_retries=1, backoff_seconds=0.0)
+        with WorkPool(n_workers=2) as pool:
+            with faults.inject(plan):
+                with pytest.raises(ExecutionError) as exc_info:
+                    pool.map(_square, [1, 2, 3], policy=policy)
+            err = exc_info.value
+            assert err.attempts == 2
+            assert err.failures  # the chain rode along
+            assert any("BrokenProcessPool" in entry or "Broken" in entry
+                       for entry in err.failure_chain)
+            assert pool.health.call_failures == 1
+            assert pool.health.consecutive_failures == 1
+            # one terminal failure is not degradation (degrade_after=3)
+            assert not pool.health.degraded
+            # and the pool still works afterwards
+            faults.clear()
+            assert pool.map(_square, [4, 5], policy=FAST) == [16, 25]
+
+    def test_degrades_after_consecutive_terminal_failures(self):
+        plan_specs = [FaultSpec("kill", i) for i in range(24)]
+        policy = TaskPolicy(max_retries=0, backoff_seconds=0.0)
+        with WorkPool(n_workers=2, degrade_after=2) as pool:
+            with faults.inject(FaultPlan(plan_specs)):
+                for _ in range(2):
+                    with pytest.raises(ExecutionError):
+                        pool.map(_square, [1, 2, 3], policy=policy)
+            assert pool.health.degraded
+            assert pool.health.consecutive_failures == 2
+            # degraded mode: serial inline, correct answers, no workers
+            got = pool.map(_square, [1, 2, 3])
+            assert got == [1, 4, 9]
+            assert pool.health.degraded_calls == 1
+            assert not pool.started
+            # ensure_started is a no-op while degraded
+            pool.ensure_started()
+            assert not pool.started
+            # operator path back
+            pool.reset_health()
+            assert not pool.health.degraded
+            assert pool.map(_square, [2], policy=FAST) == [4]
+
+    def test_success_resets_consecutive_failures(self):
+        policy = TaskPolicy(max_retries=0, backoff_seconds=0.0)
+        with WorkPool(n_workers=2, degrade_after=2) as pool:
+            with faults.inject(FaultPlan([FaultSpec("kill", i)
+                                          for i in range(6)])):
+                with pytest.raises(ExecutionError):
+                    pool.map(_square, [1, 2, 3], policy=policy)
+            assert pool.health.consecutive_failures == 1
+            assert pool.map(_square, [1, 2, 3], policy=FAST) == [1, 4, 9]
+            assert pool.health.consecutive_failures == 0
+            assert not pool.health.degraded
+
+
+# ---------------------------------------------------------------------------
+# recovery through the engine and session layers
+# ---------------------------------------------------------------------------
+
+class TestEngineChaos:
+    def test_multicore_run_bit_identical_under_kill(
+            self, small_portfolio_workload):
+        wl = small_portfolio_workload
+        with MulticoreEngine(n_workers=2) as engine:
+            baseline = engine.run(wl.portfolio, wl.yet)
+            with faults.inject(FaultPlan.kill_task(1)) as plan:
+                recovered = engine.run(wl.portfolio, wl.yet)
+            assert plan.exhausted
+            np.testing.assert_array_equal(
+                baseline.portfolio_ylt.losses, recovered.portfolio_ylt.losses)
+            for lid in baseline.ylt_by_layer:
+                np.testing.assert_array_equal(
+                    baseline.ylt_by_layer[lid].losses,
+                    recovered.ylt_by_layer[lid].losses)
+            assert engine.pool.health.worker_deaths >= 1
+            assert recovered.details["degraded"] is False
+
+    def test_degraded_engine_matches_pooled_bitwise(
+            self, small_portfolio_workload):
+        wl = small_portfolio_workload
+        with MulticoreEngine(n_workers=2) as engine:
+            pooled = engine.run(wl.portfolio, wl.yet)
+            engine.pool.health.degraded = True
+            inline = engine.run(wl.portfolio, wl.yet)
+            assert inline.details["degraded"] is True
+            assert inline.details["transport"] == "inline"
+            assert inline.details["n_workers"] == 1
+            np.testing.assert_array_equal(
+                pooled.portfolio_ylt.losses, inline.portfolio_ylt.losses)
+
+    def test_session_surfaces_health_and_replans(
+            self, small_portfolio_workload, risk_session):
+        wl = small_portfolio_workload
+        session = risk_session(wl.yet, wl.portfolio, n_workers=2)
+        assert session.pool_health is None  # nothing pooled yet
+        session.warmup("pooled")
+        health = session.pool_health
+        assert health is not None and not health.degraded
+        baseline = session.aggregate(engine="multicore")
+        health.degraded = True
+        plan = session.plan("aggregate")
+        est = {e.engine: e for e in plan.estimates}["multicore"]
+        assert est.n_procs == 1
+        assert est.startup_seconds == 0.0
+        assert "serial fallback" in est.note
+        assert "serial fallback" in plan.explain()
+        degraded = session.aggregate(engine="multicore")
+        assert degraded.details["degraded"] is True
+        np.testing.assert_array_equal(
+            baseline.portfolio_ylt.losses, degraded.portfolio_ylt.losses)
+
+
+# ---------------------------------------------------------------------------
+# recovery through the serving path
+# ---------------------------------------------------------------------------
+
+class TestServingChaos:
+    def test_worker_death_mid_batch_quotes_unchanged(
+            self, small_portfolio_workload):
+        """A killed worker inside a pooled quote batch is invisible in
+        the quotes: supervision resubmits the lost trial blocks and the
+        batch prices bit-identical to a fault-free pooled service (and
+        to within float tolerance of the inline one)."""
+        wl = small_portfolio_workload
+        layers = list(wl.portfolio)
+
+        inline_svc = PricingService(wl.yet)
+        clean_svc = PricingService(
+            wl.yet, engine=PooledDispatcher(n_workers=2))
+        chaos_svc = PricingService(
+            wl.yet, engine=PooledDispatcher(n_workers=2))
+        try:
+            inline_q = inline_svc.quote_many(layers)
+            clean_q = clean_svc.quote_many(layers)
+            chaos_svc.warmup()
+            with faults.inject(FaultPlan.kill_task(1)) as plan:
+                chaos_q = chaos_svc.quote_many(layers)
+            assert plan.exhausted
+            health = chaos_svc.pool_health
+            assert health is not None
+            assert health.worker_deaths >= 1
+            assert health.retries >= 1
+            assert not health.degraded
+            for clean, chaos, inline in zip(clean_q, chaos_q, inline_q):
+                # bit-identical to the fault-free pooled run ...
+                assert chaos.expected_loss == clean.expected_loss
+                assert chaos.premium == clean.premium
+                # ... and equal to the inline substrate within tolerance
+                assert chaos.premium == pytest.approx(inline.premium,
+                                                      rel=1e-9)
+        finally:
+            inline_svc.close()
+            clean_svc.close()
+            chaos_svc.close()
+
+    def test_degraded_service_quotes_bit_identical(
+            self, small_portfolio_workload):
+        wl = small_portfolio_workload
+        layers = list(wl.portfolio)
+        pooled_svc = PricingService(
+            wl.yet, engine=PooledDispatcher(n_workers=2))
+        degraded_dispatcher = PooledDispatcher(n_workers=2)
+        degraded_dispatcher.pool.health.degraded = True
+        degraded_svc = PricingService(wl.yet, engine=degraded_dispatcher)
+        try:
+            assert degraded_dispatcher.n_procs == 1
+            assert degraded_dispatcher.transport_active == "inline"
+            pooled_q = pooled_svc.quote_many(layers)
+            degraded_q = degraded_svc.quote_many(layers)
+            assert degraded_dispatcher.pool.health.degraded_calls >= 1
+            for a, b in zip(pooled_q, degraded_q):
+                assert a.expected_loss == b.expected_loss
+                assert a.premium == b.premium
+        finally:
+            pooled_svc.close()
+            degraded_svc.close()
+
+    def test_terminal_serving_failure_is_typed(self, small_portfolio_workload):
+        wl = small_portfolio_workload
+        layers = list(wl.portfolio)[:2]
+        svc = PricingService(
+            wl.yet, engine=PooledDispatcher(n_workers=2))
+        try:
+            svc.dispatcher.pool.policy = TaskPolicy(max_retries=0,
+                                                    backoff_seconds=0.0)
+            plan = FaultPlan([FaultSpec("kill", i) for i in range(8)])
+            with faults.inject(plan):
+                with pytest.raises(ExecutionError) as exc_info:
+                    svc.quote_many(layers)
+            assert exc_info.value.failures
+            assert svc.pool_health.call_failures == 1
+            # the service survives: the next batch prices normally
+            faults.clear()
+            quotes = svc.quote_many(layers)
+            assert len(quotes) == 2
+        finally:
+            svc.close()

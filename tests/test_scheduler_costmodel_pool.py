@@ -205,10 +205,22 @@ class TestWorkPool:
         assert pool._executor is None  # context manager closed it
 
     def test_broken_executor_recovers_on_next_call(self):
-        """A dead worker costs one call, not the pool's lifetime."""
-        from concurrent.futures.process import BrokenProcessPool
+        """A dead worker costs one call, not the pool's lifetime.
 
+        A task that kills its worker on *every* attempt exhausts the
+        supervision retries and surfaces as a typed ExecutionError (the
+        raw BrokenProcessPool rides along in the failure chain); the
+        pool itself stays usable for the next call.
+        """
+        from repro.errors import ExecutionError
+        from repro.hpc.pool import TaskPolicy
+
+        policy = TaskPolicy(max_retries=1, backoff_seconds=0.0)
         with WorkPool(n_workers=2) as pool:
-            with pytest.raises(BrokenProcessPool):
-                pool.map(_die, [1, 2, 3])
-            assert pool.map(_square, [2, 3]) == [4, 9]
+            with pytest.raises(ExecutionError) as exc_info:
+                pool.map(_die, [1, 2, 3], policy=policy)
+            assert exc_info.value.failures
+            assert pool.health.worker_deaths >= 1
+            assert pool.health.call_failures == 1
+            assert pool.map(_square, [2, 3], policy=policy) == [4, 9]
+            assert pool.health.consecutive_failures == 0

@@ -431,6 +431,8 @@ class TestThreadedCoalescing:
         svc.close()
 
     def test_flush_error_propagates_to_every_ticket(self, tiny_workload):
+        from repro.errors import ExecutionError
+
         svc = PricingService(tiny_workload.yet)
         svc.dispatcher = _ExplodingDispatcher()
         layer = tiny_workload.portfolio.layers[0]
@@ -438,13 +440,17 @@ class TestThreadedCoalescing:
         t2 = svc.submit(layer, "ylt")
         svc.flush()
         for t in (t1, t2):
-            with pytest.raises(RuntimeError, match="boom"):
+            # terminal execution failures surface typed, with the raw
+            # dispatcher exception preserved in the failure chain
+            with pytest.raises(ExecutionError, match="boom") as exc_info:
                 t.result(timeout=5)
+            assert any(isinstance(f, RuntimeError)
+                       for f in exc_info.value.failures)
         svc.close()
 
 
 class _ExplodingDispatcher(InlineDispatcher):
-    def run(self, kernel, yet):
+    def run(self, kernel, yet, policy=None):
         raise RuntimeError("boom")
 
 
@@ -453,9 +459,9 @@ class _SlowDispatcher(InlineDispatcher):
         super().__init__()
         self.delay = delay
 
-    def run(self, kernel, yet):
+    def run(self, kernel, yet, policy=None):
         time.sleep(self.delay)
-        return super().run(kernel, yet)
+        return super().run(kernel, yet, policy=policy)
 
 
 # ---------------------------------------------------------------------------

@@ -24,8 +24,9 @@ import pytest
 from repro.core.engines import MulticoreEngine, VectorizedEngine
 from repro.core.kernels import PortfolioKernel
 from repro.core.tables import YetTable
-from repro.errors import ConfigurationError, EngineError
+from repro.errors import ConfigurationError, EngineError, ExecutionError
 from repro.hpc import shm
+from repro.hpc.pool import TaskPolicy, WorkPool
 from repro.serve.dispatch import InlineDispatcher, PooledDispatcher, _ShmYet
 from repro.serve import PricingService
 
@@ -287,18 +288,33 @@ def _die(_shared, _i: int):  # pragma: no cover - runs in a worker
     os._exit(17)
 
 
+def _attach_and_cached_slabs(handle):
+    """Worker: attach one slab handle, report this process's cached
+    slab mappings (picklable task for the eviction tests)."""
+    view = handle.attach()
+    with shm._ATTACHED_LOCK:
+        cached = sorted(n for n in shm._ATTACHED
+                        if n.startswith("repro-slab-"))
+    return float(view.sum()), cached
+
+
+#: No-retry supervision: a persistent killer fails terminally at once,
+#: keeping these tests to exactly one executor cycle.
+_NO_RETRY = TaskPolicy(max_retries=0, backoff_seconds=0.0)
+
+
 class TestRecovery:
     def test_engine_recovers_and_reattaches_after_worker_death(
             self, small_portfolio_workload):
-        from concurrent.futures.process import BrokenProcessPool
-
         wl = small_portfolio_workload
         with MulticoreEngine(n_workers=2) as engine:
             before = engine.run(wl.portfolio, wl.yet)
             ships = engine.pool.payload_ships
             shipment = engine._staged[2]
-            with pytest.raises(BrokenProcessPool):
-                engine.pool.starmap_shared(_die, shipment, [(i,) for i in range(4)])
+            with pytest.raises(ExecutionError):
+                engine.pool.starmap_shared(_die, shipment,
+                                           [(i,) for i in range(4)],
+                                           policy=_NO_RETRY)
             after = engine.run(wl.portfolio, wl.yet)
             np.testing.assert_array_equal(before.portfolio_ylt.losses,
                                           after.portfolio_ylt.losses)
@@ -306,17 +322,71 @@ class TestRecovery:
             # fresh placement: the staged arena is untouched
             assert engine.pool.payload_ships == ships + 1
             assert engine._staged[2] is shipment
+            assert engine.pool.health.worker_deaths >= 1
 
     def test_dispatcher_recovers_after_worker_death(
             self, small_portfolio_workload):
-        from concurrent.futures.process import BrokenProcessPool
-
         wl = small_portfolio_workload
         kernel = wl.portfolio.kernel()
         with PooledDispatcher(n_workers=2) as d:
             before = d.run(kernel, wl.yet)
-            with pytest.raises(BrokenProcessPool):
+            with pytest.raises(ExecutionError):
                 d.pool.starmap_shared(_die, d._bundle(wl.yet),
-                                      [(i,) for i in range(4)])
+                                      [(i,) for i in range(4)],
+                                      policy=_NO_RETRY)
             after = d.run(kernel, wl.yet)
             np.testing.assert_array_equal(before, after)
+
+
+# ---------------------------------------------------------------------------
+# slab generation eviction on the attach side
+# ---------------------------------------------------------------------------
+
+class TestSlabGenerationEviction:
+    def test_workers_unmap_outgrown_generations(self):
+        """Attaching a newer slab generation evicts the worker's cached
+        mapping of the outgrown one — the stale segment must not stay
+        pinned until worker exit."""
+        arr1 = np.arange(256, dtype=np.float64)
+        arr2 = np.arange(4096, dtype=np.float64)  # outgrows the slab
+        with WorkPool(n_workers=2) as pool, \
+                shm.ShmSlab(capacity_bytes=1 << 11) as slab:
+            # Spawn workers before any segment exists: a forked worker
+            # inherits the owner registry, which would short-circuit the
+            # attach path this test is about.
+            pool.ensure_started()
+            (h1,) = slab.pack(arr1)
+            g1 = slab.segment_name
+            assert shm._SLAB_NAME_RE.match(g1)
+            for total, cached in pool.map(_attach_and_cached_slabs,
+                                          [h1] * 8):
+                assert total == arr1.sum()
+                assert g1 in cached
+            (h2,) = slab.pack(arr2)
+            g2 = slab.segment_name
+            assert slab.generations == 2 and g1 != g2
+            for total, cached in pool.map(_attach_and_cached_slabs,
+                                          [h2] * 8):
+                assert total == arr2.sum()
+                assert g2 in cached
+                # the outgrown generation was unmapped at attach time
+                assert g1 not in cached
+
+    def test_unrelated_slabs_do_not_evict_each_other(self):
+        arr = np.arange(128, dtype=np.float64)
+        with WorkPool(n_workers=2) as pool, \
+                shm.ShmSlab(capacity_bytes=1 << 11) as a, \
+                shm.ShmSlab(capacity_bytes=1 << 11) as b:
+            pool.ensure_started()  # fork before any segment exists
+            (ha,) = a.pack(arr)
+            (hb,) = b.pack(arr)
+            # Every worker attaches slab A, then slab B: different uids,
+            # so A's generation-1 mapping must survive B's attach.
+            for total, cached in pool.map(_attach_and_cached_slabs,
+                                          [ha] * 8):
+                assert total == arr.sum()
+            for _total, cached in pool.map(_attach_and_cached_slabs,
+                                           [hb] * 8):
+                if a.segment_name in cached or b.segment_name in cached:
+                    # a worker that saw both keeps both mappings
+                    assert b.segment_name in cached
