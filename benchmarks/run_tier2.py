@@ -3,9 +3,9 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/run_tier2.py [--full] [--out-dir DIR]
-                                                  [--only {e13,...,e17}]
+                                                  [--only {e13,...,e18}]
 
-Five trajectory records are refreshed:
+Six trajectory records are refreshed:
 
 - ``BENCH_e13.json`` — the fused portfolio kernel vs the per-layer path;
 - ``BENCH_e14.json`` — the serving layer's micro-batched pricing vs one
@@ -15,7 +15,10 @@ Five trajectory records are refreshed:
 - ``BENCH_e16.json`` — one staged ``RiskSession`` vs per-call entry-point
   construction across a mixed aggregate + quote + EP-curve workload;
 - ``BENCH_e17.json`` — fault-recovery latency (one injected worker kill
-  mid-batch) and degraded-mode throughput, answers bit-identical.
+  mid-batch) and degraded-mode throughput, answers bit-identical;
+- ``BENCH_e18.json`` — sublinear tail-group pricing vs the lane path
+  (lanes/s vs L over one shared book) and the device engine's
+  uploads-per-sweep table (one stacked upload per batch vs L).
 
 The default (small) sizes finish in seconds so every PR can refresh the
 trajectory and compare against the committed records; ``--full`` runs
@@ -36,6 +39,7 @@ import bench_e14_serving as e14
 import bench_e15_shm_data_plane as e15
 import bench_e16_session_reuse as e16
 import bench_e17_fault_recovery as e17
+import bench_e18_sublinear_tail as e18
 
 #: Reduced shape for the per-PR tier-2 run: same layer counts, ~8x fewer
 #: occurrences, so the trajectory stays comparable but cheap.
@@ -54,6 +58,16 @@ SMALL_SHAPE_E13 = dict(
 SMALL_SHAPE_E14 = dict(
     n_trials=1_000,
     mean_events_per_trial=200.0,
+    elt_rows=1_000,
+    catalog_events=8_000,
+)
+
+#: The tail-group bench needs the same serving regime as e14 — enough
+#: occurrences that the sweep dominates, a sorted multi-event YET so
+#: the sublinear path engages.  Identical lane counts to the full run.
+SMALL_SHAPE_E18 = dict(
+    n_trials=1_000,
+    mean_events_per_trial=150.0,
     elt_rows=1_000,
     catalog_events=8_000,
 )
@@ -206,9 +220,46 @@ def run_e17(full: bool, out_dir: Path | None, repeats: int) -> int:
     return status
 
 
+def run_e18(full: bool, out_dir: Path | None, repeats: int) -> int:
+    shape = {} if full else SMALL_SHAPE_E18
+    record = e18.measure(lane_counts=e18.LANE_COUNTS, repeats=repeats, **shape)
+    record["tier"] = "full" if full else "small"
+    path = e18.write_json(
+        record, out_dir / "BENCH_e18.json" if out_dir else None
+    )
+
+    print(f"wrote {path}")
+    print(f"{'L':>4} {'lane':>11} {'group':>11} {'speedup':>8} "
+          f"{'group Ml/s':>11} {'max err':>9}")
+    for r in record["rows"]:
+        print(f"{r['n_layers']:>4} {r['lane_seconds']*1e3:>9.1f}ms "
+              f"{r['group_seconds']*1e3:>9.1f}ms {r['speedup']:>7.2f}x "
+              f"{r['group_lanes_per_s']/1e6:>10.1f} {r['max_abs_err']:>9.1e}")
+    print(f"{'L':>4} {'batches':>8} {'stack ups':>10} {'vs per-layer':>13}")
+    for r in record["device_rows"]:
+        print(f"{r['n_layers']:>4} {r['n_batches']:>8} "
+              f"{r['stack_uploads']:>10} "
+              f"{r['per_layer_uploads_would_be']:>13}")
+
+    status = 0
+    at64 = next(r for r in record["rows"] if r["n_layers"] == 64)
+    if at64["speedup"] < 2.0:
+        print(f"WARNING: e18 sublinear speedup at L=64 is "
+              f"{at64['speedup']:.2f}x (bar: 2x)", file=sys.stderr)
+        status = 1
+    for r in record["device_rows"]:
+        if r["stack_uploads"] != r["n_batches"]:
+            print(f"WARNING: e18 device L={r['n_layers']} shipped "
+                  f"{r['stack_uploads']} stacked uploads over "
+                  f"{r['n_batches']} batches (bar: exactly one per batch)",
+                  file=sys.stderr)
+            status = 1
+    return status
+
+
 #: Experiment registry for ``--only`` (insertion order = run order).
 EXPERIMENTS = {"e13": run_e13, "e14": run_e14, "e15": run_e15,
-               "e16": run_e16, "e17": run_e17}
+               "e16": run_e16, "e17": run_e17, "e18": run_e18}
 
 
 def main(argv: list[str] | None = None) -> int:

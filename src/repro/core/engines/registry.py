@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import EngineError
-from repro.hpc.cost_model import StageSpec
+from repro.hpc.cost_model import StageSpec, transfer_stage
 
 __all__ = [
     "EngineSpec",
@@ -56,8 +56,9 @@ class EngineSpec:
         Substrate class: ``"serial"``, ``"vector"``, ``"process-pool"``,
         ``"simulated-device"``, ``"simulated-mapreduce"``, or
         ``"simulated-cluster"``.  Only ``"process-pool"`` engines scale
-        with real host cores; the ``simulated-*`` substrates model other
-        hardware and are never picked by ``engine="auto"``.
+        with real host cores; ``simulated-*`` substrates run at their
+        declared ``fixed_procs`` regardless of the host and pay their
+        payload transfer on every run.
     stateful:
         The engine holds resources (worker pools, shared-memory arenas)
         and exposes ``close()``; sessions cache stateful engines and
@@ -77,7 +78,20 @@ class EngineSpec:
         the :class:`~repro.hpc.cost_model.StageSpec` the planner prices.
     startup_seconds:
         One-off setup cost (worker spawn, payload staging) the planner
-        charges when the engine's substrate is cold.
+        charges when the engine's substrate is cold.  For ``simulated-*``
+        substrates it is charged on *every* run, on top of the payload
+        transfer below — there is no warm credit for a bus.
+    payload_row_bytes / transfer_bandwidth_bps:
+        Per-occurrence payload size and link bandwidth (bytes/s) of the
+        shipment a run must pay before compute starts (H2D upload for
+        the device, scatter for the cluster).  Zero means no transfer
+        term; :meth:`transfer_seconds` prices the pair through the cost
+        model's :func:`~repro.hpc.cost_model.transfer_stage`.
+    fixed_procs:
+        Processor count the substrate *is* (device SMs abstracted as one
+        throughput, cluster node count), independent of host cores.
+        Zero defers to the ``parallelism``-based rule in
+        :meth:`procs_for`.
     """
 
     name: str
@@ -92,6 +106,9 @@ class EngineSpec:
     parallel_fraction: float = 1.0
     comm_overhead_per_proc_s: float = 0.0
     startup_seconds: float = 0.0
+    payload_row_bytes: float = 0.0
+    transfer_bandwidth_bps: float = 0.0
+    fixed_procs: int = 0
 
     def __post_init__(self):
         if not self.name:
@@ -120,8 +137,24 @@ class EngineSpec:
             comm_overhead_per_proc_s=self.comm_overhead_per_proc_s,
         )
 
+    def transfer_seconds(self, n_occurrences: float) -> float:
+        """Modelled per-run payload shipment time for ``n_occurrences`` rows.
+
+        Zero when the engine declares no transfer term (in-process
+        substrates touch host memory directly).
+        """
+        if self.payload_row_bytes <= 0 or self.transfer_bandwidth_bps <= 0:
+            return 0.0
+        return transfer_stage(
+            f"{self.name}-transfer",
+            float(max(n_occurrences, 0.0)) * self.payload_row_bytes,
+            self.transfer_bandwidth_bps,
+        ).runtime_seconds(1)
+
     def procs_for(self, n_workers: int) -> int:
         """Processors the cost model should charge on an ``n_workers`` host."""
+        if self.fixed_procs:
+            return self.fixed_procs
         return max(1, n_workers) if self.parallelism == "process-pool" else 1
 
 

@@ -28,9 +28,14 @@ class VectorizedEngine(Engine):
     name = "vectorized"
 
     def __init__(self, dense_max_entries: int = 4_000_000,
-                 block_occurrences: int | None = None) -> None:
+                 block_occurrences: int | None = None,
+                 sublinear_tail: bool = True) -> None:
         self.dense_max_entries = dense_max_entries
         self.block_occurrences = block_occurrences
+        # Tail-attaching same-book row groups price through the kernel's
+        # sublinear histogram path by default; ``False`` forces the lane
+        # path (the A/B knob the e18 bench and parity tests drive).
+        self.sublinear_tail = sublinear_tail
 
     def run(self, portfolio: Portfolio, yet: YetTable, *,
             emit_yelt: bool = False) -> EngineResult:
@@ -45,6 +50,7 @@ class VectorizedEngine(Engine):
         final = kernel.run(
             trials, event_ids, n_trials,
             block_occurrences=self.block_occurrences,
+            sublinear=self.sublinear_tail,
         )
         ylt_by_layer = {
             lid: YltTable(final[row]) for row, lid in enumerate(kernel.layer_ids)
@@ -80,5 +86,7 @@ class VectorizedEngine(Engine):
                 "fused_layers": kernel.n_layers,
                 "block_occurrences": self.block_occurrences
                 or kernel.block_occurrences,
+                "sublinear_tail": self.sublinear_tail,
+                "tail_group_rows": kernel.tail_group_rows,
             },
         )

@@ -35,6 +35,27 @@ Kernel rows are ordered dense-first; :attr:`layer_ids` maps row → layer.
 The kernel holds only plain arrays, so it pickles whole — the multicore
 engine ships it to each worker once per run instead of re-sending lookup
 arrays per layer per block.
+
+**Sublinear tail groups.**  Batches of tail-attaching layers over one
+shared book — the serving layer's many-quotes-one-book shape — do not
+even need the ``(L, block)`` lane matrix.  Rows that (a) share a stored
+lookup and (b) price through the one-clip window ``clip(g, lo, hi)``
+(every row whose shifted-clip error bound passes — see
+:meth:`_shift_mask`) form a *tail group*: the group's block is priced by
+bucketing each gathered loss against the sorted union of the group's
+``lo``/``hi`` thresholds (one ``searchsorted`` over ≤ 2·Lg cut points),
+building a per-trial histogram + weighted histogram with ``bincount``,
+and resolving every layer from the two cumulative-sum arrays —
+``sum(clip(g - lo, 0, cap))`` is two lookups into prefix sums instead of
+a lane of width ``block``.  Work per block is ``O(block · log Lg +
+trials_in_block · Lg)`` instead of ``O(block · Lg)``: sublinear in lanes
+whenever trials hold more than a couple of occurrences.  Rows that don't
+qualify (occurrence terms at extreme retention scales, accumulating
+chunk sweeps, unsorted trial streams, groups below
+:data:`MIN_TAIL_GROUP` lanes) take the exact lane path via a
+:meth:`subset` kernel — answers stay within the library's cross-engine
+tolerance either way, and ``sweep(..., sublinear=False)`` forces the
+lane path outright.
 """
 
 from __future__ import annotations
@@ -46,7 +67,8 @@ import numpy as np
 from repro.core.lookup import sparse_gather_into
 from repro.errors import ConfigurationError
 
-__all__ = ["KernelHandles", "PortfolioKernel", "DEFAULT_BLOCK_OCCURRENCES"]
+__all__ = ["KernelHandles", "PortfolioKernel", "DEFAULT_BLOCK_OCCURRENCES",
+           "MIN_TAIL_GROUP"]
 
 #: Kernel array attributes that travel through the shared-memory plane,
 #: in the positional order of :meth:`PortfolioKernel.__init__`'s vector
@@ -84,6 +106,16 @@ class KernelHandles:
 #: fit the fast memory" rule.
 DEFAULT_BLOCK_OCCURRENCES = 32_768
 
+#: Minimum lanes sharing one stored lookup before the sublinear group
+#: path pays for its histogram: the measured crossover against the lane
+#: path sits between 16 and 32 lanes on dense streams, so below this the
+#: threshold bookkeeping would cost more than the lanes it replaces.
+MIN_TAIL_GROUP = 16
+
+#: Caches derived lazily per instance — never pickled or shipped through
+#: shared memory (workers rebuild them on first use).
+_CACHE_SLOTS = ("_mask_cache", "_subset_cache", "_tail_index")
+
 
 class PortfolioKernel:
     """Stacked lookups + term vectors for one portfolio, swept fused.
@@ -98,6 +130,7 @@ class PortfolioKernel:
         "agg_limit", "participation", "dense_stack", "sparse_ids",
         "sparse_values", "sparse_offsets", "dense_source", "sparse_source",
         "occ_floor", "occ_ceiling", "block_occurrences",
+        "_mask_cache", "_subset_cache", "_tail_index",
     )
 
     def __init__(
@@ -185,6 +218,24 @@ class PortfolioKernel:
             infinite_ret, 0.0, occ_retention + occ_limit
         )
         self.block_occurrences = int(block_occurrences)
+        self._init_caches()
+
+    def _init_caches(self) -> None:
+        self._mask_cache: dict[int, np.ndarray] = {}
+        self._subset_cache: dict[bytes, "PortfolioKernel"] = {}
+        self._tail_index = None
+
+    def __getstate__(self):
+        # Derived caches stay host-local: a pickled kernel (the multicore
+        # ship path) carries only the stacked arrays, and the receiving
+        # worker rebuilds masks/subsets lazily on first use.
+        return {name: getattr(self, name) for name in self.__slots__
+                if name not in _CACHE_SLOTS}
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._init_caches()
 
     # -- construction ------------------------------------------------------
 
@@ -467,9 +518,17 @@ class PortfolioKernel:
         tolerance (1e-6, with 2x margin for the partial-sum ulps) take
         the one-pass identity; rows attaching at extreme retention
         scales fall back to exact subtract-then-clip.
+
+        Memoised per ``max_trial_count``: fixed-shape serving batches
+        (same YET, fresh quote stacks) hit the same count every sweep.
         """
-        worst_err = self.occ_floor * float(max_trial_count) * 2.0 ** -51
-        return worst_err <= 1e-6
+        key = int(max_trial_count)
+        mask = self._mask_cache.get(key)
+        if mask is None:
+            worst_err = self.occ_floor * float(key) * 2.0 ** -51
+            mask = worst_err <= 1e-6
+            self._mask_cache[key] = mask
+        return mask
 
     def _gather_clip_block(self, event_ids: np.ndarray, out: np.ndarray,
                            shifted: np.ndarray) -> np.ndarray:
@@ -517,6 +576,216 @@ class PortfolioKernel:
             self.sparse_ids[lo:hi], self.sparse_values[lo:hi], event_ids, out
         )
 
+    # -- sublinear tail groups ---------------------------------------------
+
+    def _gather_store(self, kind: str, store: int, event_ids: np.ndarray,
+                      out: np.ndarray) -> np.ndarray:
+        """Ground-up losses of ONE stored lookup (not a row) for a block."""
+        if kind == "dense":
+            table = self.dense_stack[store]
+            np.take(table, event_ids, mode="clip", out=out)
+            oob = event_ids >= table.size
+            if oob.any():
+                out[oob] = 0.0
+            return out
+        lo, hi = self.sparse_offsets[store], self.sparse_offsets[store + 1]
+        return sparse_gather_into(
+            self.sparse_ids[lo:hi], self.sparse_values[lo:hi], event_ids, out
+        )
+
+    def _tail_group_index(self):
+        """Structural tail groups: ``(kind, store, rows)`` triples.
+
+        Rows sharing one stored lookup — same book, different terms —
+        form a group when at least :data:`MIN_TAIL_GROUP` of them do;
+        whether a given *sweep* actually prices a group sublinearly is
+        decided per call (error bound, sortedness, stream density).
+        Cached: the grouping is a pure function of the source vectors.
+        """
+        if self._tail_index is None:
+            groups = []
+            for kind, source, base in (("dense", self.dense_source, 0),
+                                       ("sparse", self.sparse_source,
+                                        self.n_dense)):
+                if not source.size:
+                    continue
+                order = np.argsort(source, kind="stable")
+                sorted_src = source[order]
+                cuts = np.flatnonzero(sorted_src[1:] != sorted_src[:-1]) + 1
+                for seg in np.split(order, cuts):
+                    if seg.size >= MIN_TAIL_GROUP:
+                        groups.append((kind, int(source[seg[0]]), seg + base))
+            self._tail_index = groups
+        return self._tail_index
+
+    @property
+    def tail_group_rows(self) -> int:
+        """Rows structurally eligible for the sublinear group path."""
+        return sum(rows.size for _, _, rows in self._tail_group_index())
+
+    def subset(self, rows: np.ndarray) -> "PortfolioKernel":
+        """A compact kernel over a sorted subset of this kernel's rows.
+
+        Used as the exact-lane fallback when a sweep prices most rows
+        through the group path: the leftover rows re-enter :meth:`sweep`
+        as a small kernel of their own instead of dragging a full-width
+        lane matrix along.  Stored lookups are re-deduplicated, so
+        subset rows sharing a book still share one gather.  Cached per
+        row set — serving batches ask for the same split every flush.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        key = rows.tobytes()
+        cached = self._subset_cache.get(key)
+        if cached is not None:
+            return cached
+        n_dense = self.n_dense
+        dense_rows = rows[rows < n_dense]
+        sparse_rows = rows[rows >= n_dense] - n_dense
+        d_uniq, d_inv = np.unique(self.dense_source[dense_rows],
+                                  return_inverse=True)
+        dense_stack = (self.dense_stack[d_uniq] if d_uniq.size
+                       else self.dense_stack[:0])
+        s_uniq, s_inv = np.unique(self.sparse_source[sparse_rows],
+                                  return_inverse=True)
+        ids_parts, val_parts, lengths = [], [], []
+        for seg in s_uniq:
+            a, b = self.sparse_offsets[seg], self.sparse_offsets[seg + 1]
+            ids_parts.append(self.sparse_ids[a:b])
+            val_parts.append(self.sparse_values[a:b])
+            lengths.append(int(b - a))
+        sparse_ids = (np.concatenate(ids_parts) if ids_parts
+                      else np.empty(0, dtype=np.int64))
+        sparse_values = (np.concatenate(val_parts) if val_parts
+                         else np.empty(0, dtype=np.float64))
+        sparse_offsets = np.concatenate(
+            ([0], np.cumsum(lengths, dtype=np.int64))
+        ).astype(np.int64)
+        sub = PortfolioKernel(
+            layer_ids=tuple(self.layer_ids[int(r)] for r in rows),
+            occ_retention=self.occ_retention[rows],
+            occ_limit=self.occ_limit[rows],
+            agg_retention=self.agg_retention[rows],
+            agg_limit=self.agg_limit[rows],
+            participation=self.participation[rows],
+            dense_stack=dense_stack,
+            sparse_ids=sparse_ids,
+            sparse_values=sparse_values,
+            sparse_offsets=sparse_offsets,
+            dense_source=d_inv.astype(np.int64),
+            sparse_source=s_inv.astype(np.int64),
+            block_occurrences=self.block_occurrences,
+        )
+        self._subset_cache[key] = sub
+        return sub
+
+    def _sweep_tail_groups(self, trials, event_ids, out, groups) -> None:
+        """Price tail groups via per-trial threshold histograms.
+
+        For each group the sorted union of its ``[lo, hi)`` cut points is
+        built once; per block, every gathered loss is bucketed with one
+        ``searchsorted``, a per-(trial, bucket) count + weighted-sum
+        histogram is accumulated with ``bincount``, and each layer's
+        ``sum(clip(g - lo, 0, cap))`` falls out of the cumulative sums:
+
+        ``mid  = (S[k_hi] - S[k_lo]) - lo · (C[k_hi] - C[k_lo])``
+          (occurrences inside the window, measured from the attachment)
+        ``top  = cap · (n_t - C[k_hi])``  (occurrences at/above the cap)
+
+        with ``C[k] = #{g < T[k]}`` and ``S[k] = Σ{g : g < T[k]}``.
+        ``lo == hi`` windows collapse to zero (k_lo == k_hi, cap 0) and
+        an infinite ``hi`` never produces a ``top`` term (C[k_hi] == n_t
+        for finite losses), so degenerate and uncapped rows need no
+        special casing.  Each block partial is clamped at zero — the
+        exact value of a partial sum of clipped losses is never negative,
+        and the ``lo``-anchored subtraction can leave a −ulp residue on
+        trials priced entirely below attachment (same budget as the
+        shifted-clip identity, which is what gates rows into groups).
+
+        Two further tricks keep the constant small: dense stores
+        pre-bucket their *table entries* once per sweep, so bucketing the
+        stream is a gather instead of per-occurrence binary search; and
+        chunking follows the histogram budget (active trials × cut
+        points), not the lane path's cache-sized occurrence blocks — the
+        group path holds no ``(L, block)`` matrix to keep resident.
+        """
+        n = event_ids.size
+        # Compact the (sorted) trial stream once for every group: `inv`
+        # ranks each occurrence's trial among trials-present, so the
+        # histogram width is active trials, not trial-id span.
+        starts = np.concatenate(
+            ([0], np.flatnonzero(trials[1:] != trials[:-1]) + 1)
+        )
+        utr = trials[starts]
+        n_active = utr.size
+        inv = np.repeat(
+            np.arange(n_active, dtype=np.int64),
+            np.diff(np.concatenate((starts, [n]))),
+        )
+        for kind, store, rows in groups:
+            lo_vec = self.occ_floor[rows]
+            hi_vec = self.occ_ceiling[rows]
+            cap = hi_vec - lo_vec
+            thresholds = np.unique(np.concatenate((lo_vec, hi_vec)))
+            m = thresholds.size
+            k_lo = np.searchsorted(thresholds, lo_vec, side="left")
+            k_hi = np.searchsorted(thresholds, hi_vec, side="left")
+            # bucket(g) = #{thresholds ≤ g}: g < T[k]  ⟺  bucket ≤ k.
+            # A dense store's gathered losses can only be table entries
+            # (or 0 for unknown events), so bucket the table once and
+            # bucket the stream by gather.
+            table_buckets = None
+            if kind == "dense":
+                table = self.dense_stack[store]
+                if table.size < n:
+                    table_buckets = np.searchsorted(thresholds, table,
+                                                    side="right")
+                    zero_bucket = int(np.searchsorted(thresholds, 0.0,
+                                                      side="right"))
+            # Chunk by active trials so the (m + 1, span) histograms stay
+            # within a fixed element budget however long the sweep is.
+            max_span = max(1, 4_000_000 // (m + 1))
+            for a in range(0, n_active, max_span):
+                b = min(a + max_span, n_active)
+                s = int(starts[a])
+                e = int(starts[b]) if b < n_active else n
+                span = b - a
+                ev = event_ids[s:e]
+                g = self._gather_store(kind, store, ev,
+                                       np.empty(e - s, dtype=np.float64))
+                if table_buckets is not None:
+                    bucket = np.take(table_buckets, ev, mode="clip")
+                    oob = ev >= table_buckets.size
+                    if oob.any():
+                        bucket[oob] = zero_bucket
+                else:
+                    bucket = np.searchsorted(thresholds, g, side="right")
+                # (m + 1, span) layout: the cumulative sum runs down the
+                # bucket axis in contiguous span-wide strides, and each
+                # layer's resolution is a row gather, not a column one.
+                key = bucket * span
+                key += inv[s:e]
+                key -= a
+                size = (m + 1) * span
+                ccum = np.bincount(key, minlength=size).reshape(m + 1, span)
+                scum = np.bincount(key, weights=g,
+                                   minlength=size).reshape(m + 1, span)
+                # In-place running sums down the bucket axis: span-wide
+                # contiguous adds beat np.cumsum's pairwise machinery.
+                for row in range(1, m + 1):
+                    ccum[row] += ccum[row - 1]
+                    scum[row] += scum[row - 1]
+                res = scum[k_hi]
+                res -= scum[k_lo]
+                c_hi = ccum[k_hi]
+                res -= lo_vec[:, None] * (c_hi - ccum[k_lo])
+                tail = ccum[-1][None, :] - c_hi
+                with np.errstate(invalid="ignore"):
+                    top = cap[:, None] * tail
+                np.copyto(top, 0.0, where=tail == 0)
+                res += top
+                np.maximum(res, 0.0, out=res)
+                out[rows[:, None], utr[a:b][None, :]] += res
+
     # -- terms -------------------------------------------------------------
 
     def occurrence_row(self, row: int, losses: np.ndarray) -> np.ndarray:
@@ -542,6 +811,7 @@ class PortfolioKernel:
         *,
         out: np.ndarray | None = None,
         block_occurrences: int | None = None,
+        sublinear: bool | None = None,
     ) -> np.ndarray:
         """One fused pass: pre-aggregate ``(L, n_trials)`` annual matrix.
 
@@ -549,6 +819,14 @@ class PortfolioKernel:
         into when given — the out-of-core engine calls sweep once per YET
         chunk against one running matrix.  Aggregate terms are *not*
         applied; compose with :meth:`apply_aggregate`.
+
+        ``sublinear`` controls the tail-group fast path (see the module
+        docstring): the default (``None``/``True``) prices qualifying
+        same-book row groups via per-trial threshold histograms and
+        everything else through the lane path; ``False`` forces the lane
+        path for every row.  Accumulating (``out=``) and unsorted sweeps
+        always take the lane path — the group histogram needs whole
+        sorted trial streams.
         """
         trials = np.asarray(trials, dtype=np.int64)
         event_ids = np.asarray(event_ids, dtype=np.int64)
@@ -568,7 +846,6 @@ class PortfolioKernel:
             return out
         block = block_occurrences or self.block_occurrences
         block = min(block, n)
-        loss_buf = np.empty((n_layers, block), dtype=np.float64)
         # YET rows are sorted by trial, which lets the segment reduction
         # decode the trial stream once per block for all L layers.
         # Unsorted streams get a block-local stable sort first, keeping
@@ -587,6 +864,34 @@ class PortfolioKernel:
         else:
             counts = np.bincount(trials, minlength=n_trials)
             shifted = self._shift_mask(int(counts.max()))
+        # Tail-group selection happens per sweep: a row goes sublinear
+        # only when its group survives the same error bound that gates
+        # the shifted-clip identity AND the stream is dense enough
+        # (≥ 2 occurrences per active trial on average) for the
+        # histogram to beat the lanes it replaces.
+        groups = []
+        lane_mask = None
+        if sublinear is not False and not accumulating and sorted_trials:
+            n_active = int(np.count_nonzero(counts))
+            if n >= 2 * n_active:
+                lane_mask = np.ones(n_layers, dtype=bool)
+                for kind, store, rows in self._tail_group_index():
+                    ok = rows[shifted[rows]]
+                    if ok.size >= MIN_TAIL_GROUP:
+                        groups.append((kind, store, ok))
+                        lane_mask[ok] = False
+        if groups:
+            self._sweep_tail_groups(trials, event_ids, out, groups)
+            lane_rows = np.flatnonzero(lane_mask)
+            if lane_rows.size:
+                # The leftover rows sweep as a compact kernel of their
+                # own — exact lane arithmetic, no full-width lane matrix.
+                out[lane_rows, :] += self.subset(lane_rows).sweep(
+                    trials, event_ids, n_trials,
+                    block_occurrences=block, sublinear=False,
+                )
+            return out
+        loss_buf = np.empty((n_layers, block), dtype=np.float64)
         for start in range(0, n, block):
             stop = min(start + block, n)
             lanes = loss_buf[:, :stop - start]
@@ -626,9 +931,11 @@ class PortfolioKernel:
         n_trials: int,
         *,
         block_occurrences: int | None = None,
+        sublinear: bool | None = None,
     ) -> np.ndarray:
         """Sweep + aggregate terms: the final ``(L, n_trials)`` YLT matrix."""
         annual = self.sweep(
-            trials, event_ids, n_trials, block_occurrences=block_occurrences
+            trials, event_ids, n_trials, block_occurrences=block_occurrences,
+            sublinear=sublinear,
         )
         return self.apply_aggregate(annual)

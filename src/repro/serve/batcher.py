@@ -8,6 +8,16 @@ The fused-kernel measurements (E13/E14) put a batch of L requests at a
 small multiple of one request's cost, so coalescing converts concurrent
 load into nearly-free extra kernel rows instead of N full sweeps.
 
+When a flushed batch is the many-quotes-one-book shape (≥16 stacked
+rows sharing one merged lookup, occurrence terms reducing to
+``clip(g, lo, hi)``), the stacked kernel's sweep routes those rows
+through the **sublinear tail-group path** automatically (E18): the batch
+prices via per-trial sorted-threshold histograms instead of an
+``(L, block)`` lane matrix, so throughput grows sublinearly in batch
+size.  Rows that don't factor fall back to exact lanes;
+``ServeStats.sublinear_batches``/``sublinear_rows`` count how often
+flushes qualified.
+
 :class:`MicroBatcher` is deliberately generic: it queues opaque request
 items against futures and hands batches to a ``flush_fn`` supplied by
 the service.  It runs in two modes:

@@ -81,6 +81,12 @@ class ServeStats:
     kernel_rows: int = 0
     largest_batch: int = 0
     sweep_seconds: float = 0.0
+    #: Batches whose stacked kernel qualified for the sublinear
+    #: tail-group sweep (same-book rows, terms reducing to clip(g,lo,hi))
+    #: and rows that priced through it — the many-quotes-one-book shape
+    #: ``quote_many`` produces.
+    sublinear_batches: int = 0
+    sublinear_rows: int = 0
 
     @property
     def sweeps(self) -> int:
@@ -416,6 +422,10 @@ class PricingService:
             seconds=sweep_seconds,
             n_procs=self.dispatcher.n_procs,
         )
+        # Structural property of the stacked batch: rows in same-lookup
+        # groups whose terms factor price through the kernel's sublinear
+        # histogram path (the routing itself is inside kernel.run).
+        tail_rows = kernel.tail_group_rows
         with self._stats_lock:
             self.stats.batches += 1
             self.stats.batched_requests += len(requests)
@@ -423,6 +433,9 @@ class PricingService:
             self.stats.sweep_seconds += sweep_seconds
             self.stats.largest_batch = max(self.stats.largest_batch,
                                            len(requests))
+            if tail_rows:
+                self.stats.sublinear_batches += 1
+                self.stats.sublinear_rows += tail_rows
 
         # One payload per (digest, metric) actually requested, cached
         # and fanned back out to every request that asked for it.

@@ -10,7 +10,12 @@ layer-occurrence lanes, each candidate engine prices them at its
 communication term, and cold substrates are charged their startup cost
 (worker spawn, payload staging) — which is exactly why a session that
 keeps its substrate warm gets different, better plans than per-call
-entry points.
+entry points.  Simulated substrates (device, cluster) are priced too:
+they start from conservative seed rates and pay their per-run payload
+transfer (H2D upload, trial scatter) in the startup column on *every*
+run — a bus earns no warm credit — so ``engine="auto"`` only routes
+work onto them once a measured run has calibrated them faster than the
+host engines at a shape where the transfer amortises.
 
 Every decision is auditable: :meth:`ExecutionPlan.explain` renders the
 candidate table — throughput, processors, Amdahl fraction, startup,
@@ -240,6 +245,14 @@ class EnginePlanner:
             if (spec.parallelism == "process-pool" and not pool_warm
                     and not pool_degraded):
                 startup = spec.startup_seconds
+            elif spec.parallelism in ("simulated-device", "simulated-cluster"):
+                # A device/cluster run re-ships the YET over its link
+                # every time — unlike a warm pool, a bus earns no warm
+                # credit, so launch + transfer are charged on every run.
+                transfer = spec.transfer_seconds(max(n_occurrences, 1))
+                startup = spec.startup_seconds + transfer
+                if transfer > 0:
+                    note = "per-run payload transfer charged in startup"
             estimates.append(EngineEstimate(
                 engine=spec.name, n_procs=procs,
                 throughput_per_proc=est.rate, calibrated=est.calibrated,

@@ -365,7 +365,11 @@ class RiskSession:
         if not spec.auto_candidate:
             return
         lanes = self.yet.n_occurrences * max(n_layers, 1)
-        n_procs = int(res.details.get("n_workers", 1)) or 1
+        # Pooled engines report n_workers, the cluster reports n_nodes;
+        # normalising to per-processor keeps calibration comparable with
+        # the spec's procs_for() pricing.
+        n_procs = int(res.details.get("n_workers")
+                      or res.details.get("n_nodes") or 1)
         self._planner.observe(res.engine, lanes, res.seconds, n_procs)
 
     # -- aggregate analysis ------------------------------------------------

@@ -159,3 +159,35 @@ class TestBenchE17Smoke:
         assert row["bit_identical_degraded"] is True
         assert row["worker_deaths"] >= 1
         assert row["fault_reports"][0]["pending"] == 0
+
+
+class TestBenchE18Smoke:
+    """Tiny-shape run of the sublinear tail-group bench (tier-1 guard)."""
+
+    def test_e18_measures_and_round_trips(self):
+        sys.path.insert(0, str(BENCH_DIR))
+        try:
+            import bench_e18_sublinear_tail as e18
+        finally:
+            sys.path.remove(str(BENCH_DIR))
+
+        tiny = dict(n_trials=80, mean_events_per_trial=12.0, n_elts=1,
+                    elt_rows=60, catalog_events=300)
+        record = e18.measure(lane_counts=(16,), device_lane_counts=(16,),
+                             repeats=1, **tiny)
+        # shape-stability: the keys run_tier2 prints and gates on
+        (row,) = record["rows"]
+        for key in ("n_layers", "lane_seconds", "group_seconds", "speedup",
+                    "group_lanes_per_s", "max_abs_err", "tail_group_rows"):
+            assert key in row
+        # parity held (measure() asserts it before timing) and the whole
+        # same-book stack qualified for the group path
+        assert row["max_abs_err"] <= e18.PARITY_ATOL
+        assert row["tail_group_rows"] == 16
+        (dev,) = record["device_rows"]
+        for key in ("n_batches", "stack_uploads", "yet_uploads",
+                    "n_chunks_total", "per_layer_uploads_would_be"):
+            assert key in dev
+        # the placement invariant holds even at toy scale
+        assert dev["stack_uploads"] == dev["n_batches"]
+        assert dev["yet_uploads"] == dev["n_chunks_total"]

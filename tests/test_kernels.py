@@ -14,7 +14,11 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.engines import SequentialEngine
-from repro.core.kernels import DEFAULT_BLOCK_OCCURRENCES, PortfolioKernel
+from repro.core.kernels import (
+    DEFAULT_BLOCK_OCCURRENCES,
+    MIN_TAIL_GROUP,
+    PortfolioKernel,
+)
 from repro.core.layer import Layer
 from repro.core.portfolio import Portfolio
 from repro.core.tables import YET_SCHEMA, EltTable, YetTable
@@ -243,3 +247,156 @@ def test_fused_kernel_block_invariance_on_random_portfolios(wl, block):
     alt = kernel.run(yet.trials, yet.event_ids, yet.n_trials,
                      block_occurrences=block)
     np.testing.assert_allclose(alt, ref, rtol=RTOL, atol=ATOL)
+
+
+# ---------------------------------------------------------------------------
+# sublinear tail-group path vs the exact lane path (satellite)
+# ---------------------------------------------------------------------------
+
+def direct_tail_kernel(occ_lo, occ_cap, table):
+    """A same-book dense stack built directly.
+
+    :class:`LayerTerms` rejects ``occ_limit <= 0``, but the sweep must
+    still price degenerate ``lo == hi`` rows correctly, so the parity
+    suite constructs the kernel without going through layers.
+    """
+    occ_lo = np.asarray(occ_lo, dtype=np.float64)
+    occ_cap = np.asarray(occ_cap, dtype=np.float64)
+    n = occ_lo.size
+    return PortfolioKernel(
+        layer_ids=tuple(range(n)),
+        occ_retention=occ_lo,
+        occ_limit=occ_cap,
+        agg_retention=np.zeros(n),
+        agg_limit=np.full(n, np.inf),
+        participation=np.ones(n),
+        dense_stack=np.asarray(table, dtype=np.float64)[None, :].copy(),
+        sparse_ids=np.empty(0, dtype=np.int64),
+        sparse_values=np.empty(0, dtype=np.float64),
+        sparse_offsets=np.zeros(1, dtype=np.int64),
+        dense_source=np.zeros(n, dtype=np.int64),
+        sparse_source=np.empty(0, dtype=np.int64),
+    )
+
+
+@st.composite
+def tail_stack(draw):
+    """Random tail-attaching stack over one shared book, plus a YET."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    n_trials = draw(st.integers(1, 30))
+    width = draw(st.integers(2, 40))
+    n_layers = draw(st.integers(MIN_TAIL_GROUP, 40))
+    table = rng.lognormal(10, 1.5, width)
+    if draw(st.booleans()):
+        # zero-loss events in the book (whole trials may price to zero)
+        table[rng.choice(width, size=max(width // 2, 1), replace=False)] = 0.0
+    lo = rng.uniform(0.0, 3e4, n_layers)
+    lo[rng.random(n_layers) < 0.2] = 0.0
+    cap = rng.uniform(0.0, 5e4, n_layers)
+    cap[rng.random(n_layers) < 0.25] = 0.0       # degenerate lo == hi rows
+    cap[rng.random(n_layers) < 0.2] = np.inf     # uncapped rows
+    if draw(st.booleans()):
+        lo[0] = np.inf                            # infinite-retention row
+    n_occ = draw(st.integers(0, 400))
+    trials = np.sort(rng.integers(0, n_trials, n_occ)).astype(np.int64)
+    # ids past the table width gather to zero (uncovered events)
+    events = rng.integers(0, width + 3, n_occ).astype(np.int64)
+    return lo, cap, table, trials, events, n_trials
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ts=tail_stack())
+def test_sublinear_group_path_matches_lane_path(ts):
+    lo, cap, table, trials, events, n_trials = ts
+    kernel = direct_tail_kernel(lo, cap, table)
+    assert kernel.tail_group_rows == lo.size  # one shared book, one group
+    ref = kernel.run(trials, events, n_trials, sublinear=False)
+    sub = kernel.run(trials, events, n_trials)
+    np.testing.assert_allclose(sub, ref, rtol=RTOL, atol=ATOL)
+
+
+class TestSublinearTailGroups:
+    def test_degenerate_lo_equals_hi_rows_price_to_zero(self):
+        # occ_limit == 0 clips everything to the retention point: the
+        # layer retains nothing, on both the lane and the group path.
+        n = MIN_TAIL_GROUP
+        kernel = direct_tail_kernel(
+            np.linspace(0.0, 1e4, n), np.zeros(n), [0.0, 100.0, 250.0]
+        )
+        trials = np.repeat(np.arange(4, dtype=np.int64), 10)
+        events = np.tile(np.arange(1, 3, dtype=np.int64), 20)
+        sub = kernel.run(trials, events, 4)
+        ref = kernel.run(trials, events, 4, sublinear=False)
+        # (the lane path's shifted-clip identity leaves ~1e-12 residue
+        # on lo == hi rows; "zero" means within library tolerance)
+        np.testing.assert_allclose(ref, 0.0, atol=ATOL)
+        np.testing.assert_allclose(sub, 0.0, atol=ATOL)
+        np.testing.assert_allclose(sub, ref, rtol=RTOL, atol=ATOL)
+
+    def test_all_zero_loss_trials(self):
+        # Every gathered loss is zero (zeroed book): the histogram path
+        # must produce exact zeros, not -0.0 residue or NaN from its
+        # cap x tail term on inf-capped rows.
+        n = MIN_TAIL_GROUP
+        cap = np.full(n, np.inf)
+        cap[: n // 2] = 1e4
+        kernel = direct_tail_kernel(np.linspace(0.0, 100.0, n), cap,
+                                    np.zeros(5))
+        trials = np.repeat(np.arange(3, dtype=np.int64), 8)
+        events = np.tile(np.arange(4, dtype=np.int64), 6)
+        sub = kernel.run(trials, events, 3)
+        np.testing.assert_array_equal(sub, 0.0)
+
+    def test_sparse_store_groups_match_lane_path(self, tiny_workload):
+        # Same-book stacks dedupe to one CSR segment under
+        # dense_max_entries=1; the group path prices them too.
+        elts = tiny_workload.portfolio.layers[0].elts
+        layers = [
+            Layer(i, elts, LayerTerms(occ_retention=5e3 + 250.0 * i,
+                                      occ_limit=2e5))
+            for i in range(MIN_TAIL_GROUP + 4)
+        ]
+        kernel = PortfolioKernel.from_layers(layers, dense_max_entries=1)
+        assert kernel.n_sparse == kernel.n_layers
+        assert kernel.tail_group_rows == kernel.n_layers
+        yet = tiny_workload.yet
+        ref = kernel.run(yet.trials, yet.event_ids, yet.n_trials,
+                         sublinear=False)
+        sub = kernel.run(yet.trials, yet.event_ids, yet.n_trials)
+        np.testing.assert_allclose(sub, ref, rtol=RTOL, atol=ATOL)
+
+    def test_mixed_group_and_lane_rows(self, tiny_workload):
+        # A stack with one shared-book tail group plus an odd-book row:
+        # the group prices sublinearly, the leftover row goes through
+        # the exact lane fallback, and the union matches the all-lane
+        # sweep row for row.
+        elts = tiny_workload.portfolio.layers[0].elts
+        other = EltTable.from_arrays([1, 2, 3], [111.0, 222.0, 333.0],
+                                     contract_id=9)
+        layers = [
+            Layer(i, elts, LayerTerms(occ_retention=1e4 + 500.0 * i,
+                                      occ_limit=5e5))
+            for i in range(MIN_TAIL_GROUP)
+        ]
+        layers.append(Layer(99, [other], LayerTerms(occ_retention=50.0)))
+        kernel = PortfolioKernel.from_layers(layers)
+        assert 0 < kernel.tail_group_rows < kernel.n_layers
+        yet = tiny_workload.yet
+        ref = kernel.run(yet.trials, yet.event_ids, yet.n_trials,
+                         sublinear=False)
+        sub = kernel.run(yet.trials, yet.event_ids, yet.n_trials)
+        np.testing.assert_allclose(sub, ref, rtol=RTOL, atol=ATOL)
+
+    def test_shift_mask_is_cached_per_count_key(self, tiny_workload):
+        # Satellite: repeated fixed-shape sweeps reuse the memoised mask.
+        kernel = tiny_workload.portfolio.kernel()
+        yet = tiny_workload.yet
+        kernel.run(yet.trials, yet.event_ids, yet.n_trials)
+        cached = dict(kernel._mask_cache)
+        assert cached, "first sweep must populate the mask cache"
+        kernel.run(yet.trials, yet.event_ids, yet.n_trials)
+        assert set(kernel._mask_cache) == set(cached)
+        for key, mask in cached.items():
+            assert kernel._mask_cache[key] is mask, "mask must be reused"

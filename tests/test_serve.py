@@ -96,6 +96,28 @@ class TestBatcherParity:
         assert svc.stats.kernel_rows == 1, "identical layers share one row"
         assert quotes[0].premium == quotes[1].premium == quotes[2].premium
 
+    def test_many_quotes_one_book_routes_sublinear(self, tiny_workload):
+        # The quote_many shape the sublinear tail-group path exists for:
+        # >=16 distinct tail-attaching layers over one shared book form
+        # one same-lookup group in the stacked kernel, and the service
+        # counts the batch as sublinear-qualified.
+        wl = tiny_workload
+        elts = wl.portfolio.layers[0].elts
+        layers = [
+            Layer(i, elts, LayerTerms(occ_retention=1e4 + 500.0 * i,
+                                      occ_limit=5e5))
+            for i in range(20)
+        ]
+        with PricingService(wl.yet, cache=CachePolicy(0)) as svc:
+            quotes = svc.quote_many(layers)
+            assert svc.stats.batches == 1
+            assert svc.stats.sublinear_batches == 1
+            assert svc.stats.sublinear_rows >= 16
+        for layer, q in zip(layers[:3], quotes[:3]):
+            losses = direct_layer_pricing(layer, wl.yet)
+            np.testing.assert_allclose(q.expected_loss, losses.mean(),
+                                       rtol=1e-9, atol=1e-6)
+
     def test_mixed_metrics_one_sweep(self, tiny_workload):
         layer = tiny_workload.portfolio.layers[0]
         with PricingService(tiny_workload.yet) as svc:

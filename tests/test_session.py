@@ -10,6 +10,8 @@ planner behind ``engine="auto"``.
 
 import dataclasses
 
+import numpy as np
+
 import pytest
 
 from repro.core.engines import (
@@ -63,14 +65,27 @@ class TestEngineSpecs:
         for name in ALL_ENGINES:
             assert name in str(err.value)
 
-    def test_auto_candidates_are_real_substrates(self):
+    def test_auto_candidates_are_priced_substrates(self):
         from repro.core.engines import auto_candidates
 
         autos = {s.name for s in auto_candidates()}
-        assert autos == {"vectorized", "multicore"}
-        # simulated substrates must never be planned for real workloads
-        for name in ("sequential", "device", "mapreduce", "distributed"):
+        assert autos == {"vectorized", "multicore", "device", "distributed"}
+        # the oracle and the DFS demo stay out of auto's reach
+        for name in ("sequential", "mapreduce"):
             assert not engine_spec(name).auto_candidate
+        # simulated substrates carry conservative seeds (below the
+        # vectorized host rate) plus a per-run transfer term, so a seed
+        # plan never routes real work onto them
+        vec_rate = engine_spec("vectorized").lane_throughput
+        for name in ("device", "distributed"):
+            spec = engine_spec(name)
+            assert spec.lane_throughput < vec_rate
+            assert spec.transfer_seconds(1_000_000) > 0
+
+    def test_simulated_substrates_declare_fixed_procs(self):
+        assert engine_spec("distributed").procs_for(32) == 8  # n_nodes
+        assert engine_spec("device").procs_for(32) == 1
+        assert engine_spec("vectorized").transfer_seconds(1e9) == 0.0
 
     def test_capability_flags_match_engine_behaviour(self, tiny_workload):
         # emit_yelt: the spec flag and the engine's actual behaviour agree
@@ -153,6 +168,42 @@ class TestPlanner:
         assert "startup" in text
         for est in plan.estimates:
             assert est.engine in text
+
+    def test_seed_plan_never_picks_a_simulated_substrate(self):
+        planner = EnginePlanner(n_workers=1)
+        for shape in (dict(n_trials=100, n_occurrences=1_000, n_layers=1),
+                      dict(n_trials=1_000_000, n_occurrences=500_000_000,
+                           n_layers=16)):
+            assert planner.plan("aggregate", **shape).engine == "vectorized"
+
+    def test_calibrated_device_wins_and_explains_itself(self):
+        # The tentpole planner behaviour: after a measured device run
+        # calibrates the estimate above the host rate, auto selects the
+        # device at a shape where compute dominates the H2D transfer.
+        planner = EnginePlanner(n_workers=1)
+        planner.observe("device", lanes=1e6, seconds=0.01)  # 1e8 lanes/s
+        plan = planner.plan("aggregate", n_trials=10_000,
+                            n_occurrences=1_000_000, n_layers=16)
+        assert plan.engine == "device"
+        dev = plan.chosen
+        assert dev.calibrated
+        # launch + per-run H2D transfer priced, never waived
+        assert dev.startup_seconds > 0
+        text = plan.explain()
+        assert "device" in text and "measured" in text
+        assert "transfer" in text
+        # the distributed candidate is priced at its cluster width
+        dist = next(e for e in plan.estimates if e.engine == "distributed")
+        assert dist.n_procs == 8
+
+    def test_device_transfer_charged_even_when_pool_warm(self):
+        planner = EnginePlanner(n_workers=4)
+        shape = dict(n_trials=10_000, n_occurrences=2_000_000, n_layers=4)
+        warm = planner.plan("aggregate", pool_warm=True, **shape)
+        dev = next(e for e in warm.estimates if e.engine == "device")
+        spec = engine_spec("device")
+        expected = spec.startup_seconds + spec.transfer_seconds(2_000_000)
+        assert dev.startup_seconds == pytest.approx(expected)
 
     def test_unknown_workload_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -420,6 +471,47 @@ class TestAutoEngine:
                    if e.engine == "vectorized")
         assert est.calibrated
         assert est.throughput_per_proc != pytest.approx(seed_rate)
+
+
+# ---------------------------------------------------------------------------
+# standalone/session parity for kernel options (satellite)
+# ---------------------------------------------------------------------------
+
+class TestKernelOptionParity:
+    """The new kernel options must behave identically through the
+    standalone entry point and the session veneer (carried-over ROADMAP
+    parity debt)."""
+
+    def test_sublinear_tail_kwarg_flows_through_both_entry_points(
+            self, small_portfolio_workload, risk_session):
+        wl = small_portfolio_workload
+        standalone = AggregateAnalysis(wl.portfolio, wl.yet)
+        res_sa = standalone.run("vectorized", sublinear_tail=False)
+        assert res_sa.details["sublinear_tail"] is False
+        session = risk_session(wl.yet, wl.portfolio)
+        res_se = session.aggregate(engine="vectorized", sublinear_tail=False)
+        assert res_se.details["sublinear_tail"] is False
+        res_default = standalone.run("vectorized")
+        assert res_default.details["sublinear_tail"] is True
+        np.testing.assert_allclose(res_sa.portfolio_ylt.losses,
+                                   res_se.portfolio_ylt.losses)
+        np.testing.assert_allclose(res_sa.portfolio_ylt.losses,
+                                   res_default.portfolio_ylt.losses,
+                                   rtol=1e-9, atol=1e-6)
+
+    def test_run_all_matches_between_entry_points(
+            self, small_portfolio_workload, risk_session):
+        wl = small_portfolio_workload
+        names = ["sequential", "vectorized", "device"]
+        standalone = AggregateAnalysis(wl.portfolio, wl.yet).run_all(names)
+        session = risk_session(wl.yet, wl.portfolio)
+        via_session = session.run_all(names)
+        assert set(standalone) == set(via_session) == set(names)
+        for name in names:
+            np.testing.assert_allclose(
+                standalone[name].portfolio_ylt.losses,
+                via_session[name].portfolio_ylt.losses,
+            )
 
 
 # ---------------------------------------------------------------------------
