@@ -188,8 +188,11 @@ def measure_batch_row(size: str, shape: dict, n_batches: int) -> dict:
         # fingerprint-keyed bundle must re-ship nothing.
         equal_yet = build_portfolio_workload(**shape, seed=11).yet
         shm_d.run(kernels[0], equal_yet)
-        reships = shm_d.pool.payload_ships - ships_warm
-        slab_generations = shm_d._slab.generations if shm_d._slab else 0
+        # Both counts come off the public telemetry plane (the ship
+        # counter and the slab-generation gauge), not private fields.
+        metrics = shm_d.telemetry.snapshot()["metrics"]
+        reships = int(metrics["pool.payload_ships"]) - ships_warm
+        slab_generations = int(metrics.get("dispatch.slab.generations", 0))
 
     p50_pickle = float(np.median(pickle_lat))
     p50_shm = float(np.median(shm_lat))

@@ -111,9 +111,9 @@ def measure_row(size: str, shape: dict, repeats: int = 3) -> dict:
         "degraded_calls": degraded_calls,
         "bit_identical_after_recovery": faulted_identical,
         "bit_identical_degraded": degraded_identical,
-        "worker_deaths": health_after_fault["worker_deaths"],
-        "retries": health_after_fault["retries"],
-        "executor_cycles": health_after_fault["executor_cycles"],
+        "worker_deaths": health_after_fault["pool.worker_deaths"],
+        "retries": health_after_fault["pool.retries"],
+        "executor_cycles": health_after_fault["pool.executor_cycles"],
         "fault_reports": fault_reports,
         "health_after_fault": health_after_fault,
     }

@@ -1,0 +1,177 @@
+"""E19 — open-loop saturation curves for the serving layer.
+
+Every serving number so far (E14's throughput gain, E9's burst
+elasticity) came from closed-loop drivers, which by construction cannot
+show where the service *breaks*: the client waits for the server, so the
+offered rate sags exactly when the served rate does.  This bench drives
+:class:`~repro.serve.PricingService` with the open-loop generator in
+:mod:`loadgen` — arrivals on a fixed wall-clock schedule, shed requests
+counted rather than retried — and traces the classic saturation curve:
+
+- below the knee, served rate tracks offered rate, shed rate is zero,
+  and latency sits at the batching window;
+- past the knee, served rate flattens at capacity, queues build, and
+  SLO admission control starts shedding.
+
+The run table crosses workload mix (distinct quotes / hot cache set /
+mixed metrics) with offered rate (fractions and multiples of a
+calibrated closed-loop capacity) and dispatch engine.  **Every reported
+metric is read from the public telemetry plane** — the snapshot and
+Prometheus export built in the observability PR — never from private
+service fields; each run also asserts ``to_prometheus_text()``
+round-trips the exact sample values.  Results go to ``BENCH_e19.json``
+via ``run_tier2.py --only e19``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+from loadgen import (     # noqa: E402  (needs BENCH_DIR on the path)
+    RunSpec,
+    build_layers,
+    calibrate_capacity,
+    run_open_loop,
+)
+
+#: Offered-rate multiples of calibrated capacity.  0.25/0.5 sit safely
+#: below the knee (the zero-shed bar), 1.0 rides it, 2.0 is past it.
+RATE_MULTIPLES = (0.25, 0.5, 1.0, 2.0)
+
+#: Workload shape: the sweep has to cost enough that capacity lands in
+#: the hundreds of requests/second — a range an open loop paced with
+#: ``time.sleep`` can actually offer 2x of from one thread.
+DEFAULT_SHAPE = dict(
+    n_trials=2_000,
+    mean_events_per_trial=250.0,
+    n_elts=2,
+    elt_rows=2_000,
+    catalog_events=20_000,
+)
+
+#: SLO for admission control.  Far above the batching window (so the
+#: modelled queue wait below the knee never trips it) and far below the
+#: backlog a 2x-capacity run builds within its first half second.
+SLO_SECONDS = 0.25
+
+N_DISTINCT_LAYERS = 256
+
+
+def measure(
+    multiples=RATE_MULTIPLES,
+    duration_seconds: float = 2.0,
+    seed: int = 7,
+    **shape,
+) -> dict:
+    """Run the saturation sweep plus mix/engine factor cells."""
+    shape = {**DEFAULT_SHAPE, **shape}
+    yet, layers = build_layers(N_DISTINCT_LAYERS, seed=seed, **shape)
+    capacity = calibrate_capacity(yet, layers)
+
+    specs = [
+        RunSpec(name=f"quotes@{mult:g}x", mix="quotes",
+                rate=capacity * mult, engine="inline",
+                duration_seconds=duration_seconds, seed=seed)
+        for mult in multiples
+    ]
+    # Factor cells off the main curve: cache-heavy and mixed-metric
+    # traffic at a comfortably sub-knee rate.
+    factor_mult = min(0.5, min(multiples))
+    specs.append(RunSpec(name="hot@sub-knee", mix="hot",
+                         rate=capacity * factor_mult, engine="inline",
+                         duration_seconds=duration_seconds, seed=seed))
+    specs.append(RunSpec(name="mixed@sub-knee", mix="mixed",
+                         rate=capacity * factor_mult, engine="inline",
+                         duration_seconds=duration_seconds, seed=seed))
+
+    rows = []
+    for spec, mult in zip(specs, list(multiples) + [factor_mult] * 2):
+        # The quotes curve runs cache-off so every request costs a sweep
+        # (the saturation regime); the factor cells keep the cache on.
+        cache_entries = 0 if spec.mix == "quotes" else 4096
+        row = run_open_loop(spec, yet, layers, slo_seconds=SLO_SECONDS,
+                            cache_entries=cache_entries)
+        row["rate_multiple"] = mult
+        rows.append(row)
+    return {
+        "experiment": "e19_open_loop",
+        "shape": shape,
+        "capacity_rps": capacity,
+        "slo_seconds": SLO_SECONDS,
+        "duration_seconds": duration_seconds,
+        "rows": rows,
+    }
+
+
+def write_json(record: dict, path: str | Path | None = None) -> Path:
+    if path is None:
+        path = Path(__file__).resolve().parent.parent / "BENCH_e19.json"
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+# -- pytest entry points ----------------------------------------------------
+
+@pytest.fixture(scope="module")
+def record():
+    return measure()
+
+
+@pytest.mark.loadtest
+def test_zero_shed_below_the_knee(record):
+    """SLO admission must not fire while the service keeps up."""
+    below = [r for r in record["rows"]
+             if r["mix"] == "quotes" and r["rate_multiple"] <= 0.5]
+    assert below, "run table lost its sub-knee cells"
+    for row in below:
+        assert row["shed"] == 0, (
+            f"{row['name']} shed {row['shed']} of {row['offered']} at "
+            f"{row['offered_rate']:.0f} rps — below the knee"
+        )
+
+
+@pytest.mark.loadtest
+def test_saturation_past_the_knee(record):
+    """At 2x capacity the service must visibly saturate: either shed
+    via admission control or serve well under the offered rate."""
+    row = next(r for r in record["rows"] if r["name"] == "quotes@2x")
+    saturated = (row["shed"] > 0
+                 or row["served_rate"] < 0.9 * row["achieved_offer_rate"])
+    assert saturated, (
+        f"2x-capacity run showed no saturation: served "
+        f"{row['served_rate']:.0f} rps of {row['achieved_offer_rate']:.0f} "
+        f"offered, shed {row['shed']}"
+    )
+
+
+@pytest.mark.loadtest
+def test_hot_mix_hits_cache(record):
+    """The hot set must be served mostly from the result cache."""
+    row = next(r for r in record["rows"] if r["mix"] == "hot")
+    assert row["cache_hits"] >= row["served"] * 0.5, (
+        f"hot mix hit cache only {row['cache_hits']}/{row['served']} times"
+    )
+
+
+@pytest.mark.loadtest
+def test_report(record):
+    write_json(record)
+    print()
+    print(f"capacity {record['capacity_rps']:.0f} rps "
+          f"(slo {record['slo_seconds']*1e3:.0f}ms)")
+    print(f"{'run':>15} {'offered':>8} {'served':>7} {'shed':>5} "
+          f"{'p50':>8} {'p95':>8} {'p99':>8} {'qmax':>5}")
+    for r in record["rows"]:
+        print(f"{r['name']:>15} {r['offered_rate']:>6.0f}/s "
+              f"{r['served_rate']:>5.0f}/s {r['shed']:>5} "
+              f"{r['p50_ms']:>6.1f}ms {r['p95_ms']:>6.1f}ms "
+              f"{r['p99_ms']:>6.1f}ms {r['queue_depth_max']:>5.0f}")

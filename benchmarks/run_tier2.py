@@ -3,9 +3,9 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/run_tier2.py [--full] [--out-dir DIR]
-                                                  [--only {e13,...,e18}]
+                                                  [--only {e13,...,e19}]
 
-Six trajectory records are refreshed:
+Seven trajectory records are refreshed:
 
 - ``BENCH_e13.json`` — the fused portfolio kernel vs the per-layer path;
 - ``BENCH_e14.json`` — the serving layer's micro-batched pricing vs one
@@ -18,7 +18,11 @@ Six trajectory records are refreshed:
   mid-batch) and degraded-mode throughput, answers bit-identical;
 - ``BENCH_e18.json`` — sublinear tail-group pricing vs the lane path
   (lanes/s vs L over one shared book) and the device engine's
-  uploads-per-sweep table (one stacked upload per batch vs L).
+  uploads-per-sweep table (one stacked upload per batch vs L);
+- ``BENCH_e19.json`` — open-loop saturation curves for the serving
+  layer (offered vs served rate, latency percentiles, shed rate, queue
+  depth at fractions and multiples of calibrated capacity), with every
+  metric read from the public telemetry plane.
 
 The default (small) sizes finish in seconds so every PR can refresh the
 trajectory and compare against the committed records; ``--full`` runs
@@ -40,6 +44,7 @@ import bench_e15_shm_data_plane as e15
 import bench_e16_session_reuse as e16
 import bench_e17_fault_recovery as e17
 import bench_e18_sublinear_tail as e18
+import bench_e19_open_loop as e19
 
 #: Reduced shape for the per-PR tier-2 run: same layer counts, ~8x fewer
 #: occurrences, so the trajectory stays comparable but cheap.
@@ -257,9 +262,56 @@ def run_e18(full: bool, out_dir: Path | None, repeats: int) -> int:
     return status
 
 
+#: Reduced shape for the open-loop saturation bench: a shorter YET and
+#: shorter runs, still enough sweep cost that the knee sits at a rate
+#: the single-threaded generator can offer multiples of.
+SMALL_SHAPE_E19 = dict(
+    n_trials=800,
+    mean_events_per_trial=120.0,
+    elt_rows=1_000,
+    catalog_events=8_000,
+)
+
+
+def run_e19(full: bool, out_dir: Path | None, repeats: int) -> int:
+    shape = {} if full else SMALL_SHAPE_E19
+    duration = 2.0 if full else 1.0
+    record = e19.measure(multiples=e19.RATE_MULTIPLES,
+                         duration_seconds=duration, **shape)
+    record["tier"] = "full" if full else "small"
+    path = e19.write_json(
+        record, out_dir / "BENCH_e19.json" if out_dir else None
+    )
+
+    print(f"wrote {path}")
+    print(f"capacity {record['capacity_rps']:.0f} rps "
+          f"(slo {record['slo_seconds']*1e3:.0f}ms)")
+    print(f"{'run':>15} {'offered':>9} {'served':>8} {'shed':>6} "
+          f"{'p95':>9} {'p99':>9} {'qmax':>6}")
+    for r in record["rows"]:
+        print(f"{r['name']:>15} {r['offered_rate']:>7.0f}/s "
+              f"{r['served_rate']:>6.0f}/s {r['shed']:>6} "
+              f"{r['p95_ms']:>7.1f}ms {r['p99_ms']:>7.1f}ms "
+              f"{r['queue_depth_max']:>6.0f}")
+
+    status = 0
+    for r in record["rows"]:
+        if r["mix"] == "quotes" and r["rate_multiple"] <= 0.5 and r["shed"]:
+            print(f"WARNING: e19 {r['name']} shed {r['shed']} requests "
+                  "below the knee (bar: zero shed)", file=sys.stderr)
+            status = 1
+    at2x = next(r for r in record["rows"] if r["name"] == "quotes@2x")
+    if at2x["shed"] == 0 and at2x["served_rate"] >= 0.9 * at2x["achieved_offer_rate"]:
+        print("WARNING: e19 showed no saturation at 2x capacity",
+              file=sys.stderr)
+        status = 1
+    return status
+
+
 #: Experiment registry for ``--only`` (insertion order = run order).
 EXPERIMENTS = {"e13": run_e13, "e14": run_e14, "e15": run_e15,
-               "e16": run_e16, "e17": run_e17, "e18": run_e18}
+               "e16": run_e16, "e17": run_e17, "e18": run_e18,
+               "e19": run_e19}
 
 
 def main(argv: list[str] | None = None) -> int:

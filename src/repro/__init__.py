@@ -50,6 +50,7 @@ from repro import (
     data,
     dfa,
     hpc,
+    obs,
     serve,
     session,
     util,
@@ -85,6 +86,7 @@ from repro.dfa import (
 )
 from repro.errors import ExecutionError, ReproError
 from repro.hpc import FaultPlan, PoolHealth, TaskPolicy, WorkPool
+from repro.obs import MetricsRegistry, Telemetry
 from repro.serve import BatchPolicy, CachePolicy, PricingService
 from repro.session import ExecutionPlan, RiskSession
 from repro.util.rng import RngHierarchy
@@ -99,9 +101,12 @@ __all__ = [
     "data",
     "dfa",
     "hpc",
+    "obs",
     "serve",
     "session",
     "util",
+    "MetricsRegistry",
+    "Telemetry",
     "DEFAULTS",
     "ReproConfig",
     "AggregateAnalysis",

@@ -68,6 +68,7 @@ from typing import Callable, Iterable, Sequence
 
 from repro.errors import ConfigurationError, ExecutionError
 from repro.hpc import faults
+from repro.obs import Telemetry
 
 __all__ = ["PoolHealth", "TaskPolicy", "WorkPool", "available_parallelism"]
 
@@ -129,27 +130,56 @@ class TaskPolicy:
             raise ConfigurationError("backoff must be non-negative")
 
 
-@dataclass
 class PoolHealth:
     """Observable record of one pool's failures and recoveries.
 
     Exposed as :attr:`WorkPool.health` and surfaced upward by the pooled
     dispatcher, the multicore engine, and the session — the "operational
     failure data as a first-class signal" the ML-for-ODA codesign paper
-    argues for.  Counters only; no per-event history to grow unbounded.
+    argues for.
+
+    Since the telemetry plane landed this is a *view over registry
+    metrics*: each counter attribute reads a ``pool.<name>`` counter in
+    the owning pool's :class:`~repro.obs.Telemetry` (offset by a
+    baseline so :meth:`reset` can zero the view without breaking counter
+    monotonicity), and the degraded flag mirrors a ``pool.degraded``
+    gauge plus ``pool.degraded`` / ``pool.recovered`` events on
+    transitions.  Attribute reads and ``+=`` writes keep working exactly
+    as before, so supervision code and existing callers are unchanged —
+    but attribute access is **deprecated** for consumers: scrape the
+    owning component's telemetry (or :meth:`snapshot`) instead.
     """
 
-    worker_deaths: int = 0
-    timeouts: int = 0
-    retries: int = 0
-    task_faults: int = 0
-    executor_cycles: int = 0
-    calls: int = 0
-    call_failures: int = 0
-    consecutive_failures: int = 0
-    degraded: bool = False
-    degraded_calls: int = 0
-    last_error: str | None = None
+    #: Counter-backed attributes, exported as ``pool.<name>``.
+    _COUNTER_FIELDS = ("worker_deaths", "timeouts", "retries",
+                       "task_faults", "executor_cycles", "calls",
+                       "call_failures", "degraded_calls")
+
+    def __init__(self, telemetry: Telemetry | None = None) -> None:
+        self._tel = telemetry if telemetry is not None else Telemetry()
+        self._counters = {name: self._tel.counter(f"pool.{name}")
+                          for name in self._COUNTER_FIELDS}
+        self._base = {name: self._counters[name].value
+                      for name in self._COUNTER_FIELDS}
+        self._degraded_gauge = self._tel.gauge("pool.degraded")
+        self._degraded = False
+        self.consecutive_failures = 0
+        self.last_error: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
+
+    @degraded.setter
+    def degraded(self, value: bool) -> None:
+        value = bool(value)
+        if value and not self._degraded:
+            self._tel.event("pool.degraded", last_error=self.last_error,
+                            consecutive_failures=self.consecutive_failures)
+        elif self._degraded and not value:
+            self._tel.event("pool.recovered")
+        self._degraded = value
+        self._degraded_gauge.set(1.0 if value else 0.0)
 
     def record_success(self) -> None:
         self.consecutive_failures = 0
@@ -162,21 +192,51 @@ class PoolHealth:
         if self.consecutive_failures >= degrade_after:
             self.degraded = True
 
+    def reset(self) -> None:
+        """Zero the view (rebaseline the underlying monotone counters)
+        and leave degraded mode."""
+        for name, counter in self._counters.items():
+            self._base[name] = counter.value
+        self.consecutive_failures = 0
+        self.degraded = False
+        self.last_error = None
+
     def snapshot(self) -> dict:
-        """JSON-ready copy (benches and ops endpoints embed this)."""
-        return {
-            "worker_deaths": self.worker_deaths,
-            "timeouts": self.timeouts,
-            "retries": self.retries,
-            "task_faults": self.task_faults,
-            "executor_cycles": self.executor_cycles,
-            "calls": self.calls,
-            "call_failures": self.call_failures,
-            "consecutive_failures": self.consecutive_failures,
-            "degraded": self.degraded,
-            "degraded_calls": self.degraded_calls,
-            "last_error": self.last_error,
-        }
+        """JSON-ready flat dict in the ``pool.*`` dot-key convention of
+        :mod:`repro.obs` (benches and ops endpoints embed this)."""
+        out = {f"pool.{name}": getattr(self, name)
+               for name in self._COUNTER_FIELDS}
+        out["pool.consecutive_failures"] = self.consecutive_failures
+        out["pool.degraded"] = self.degraded
+        out["pool.last_error"] = self.last_error
+        return out
+
+
+def _counter_view(attr: str) -> property:
+    """A ``PoolHealth`` attribute backed by a registry counter.
+
+    Reads subtract the reset baseline; writes only accept growth (the
+    ``+=`` idiom supervision uses), preserving counter monotonicity.
+    """
+
+    def fget(self: PoolHealth) -> int:
+        return int(self._counters[attr].value - self._base[attr])
+
+    def fset(self: PoolHealth, value: int) -> None:
+        # Writes arrive as `health.attr += n` read-modify-write cycles;
+        # under a concurrent writer the re-read here can exceed `value`.
+        # A non-positive delta means the increment was already counted —
+        # drop it rather than decrease a monotone counter.
+        delta = value - fget(self)
+        if delta > 0:
+            self._counters[attr].inc(delta)
+
+    return property(fget, fset, doc=f"Counter view of pool.{attr}.")
+
+
+for _attr in PoolHealth._COUNTER_FIELDS:
+    setattr(PoolHealth, _attr, _counter_view(_attr))
+del _attr
 
 
 #: Per-worker slot for the object shipped by :meth:`WorkPool.starmap_shared`.
@@ -227,7 +287,8 @@ class WorkPool:
     def __init__(self, n_workers: int | None = None, *,
                  policy: TaskPolicy | None = None,
                  degrade_after: int = 3,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 telemetry: Telemetry | None = None) -> None:
         self.n_workers = n_workers if n_workers is not None else available_parallelism()
         if self.n_workers < 1:
             self.n_workers = 1
@@ -235,19 +296,32 @@ class WorkPool:
             raise ConfigurationError("degrade_after must be >= 1")
         self.policy = policy if policy is not None else TaskPolicy()
         self.degrade_after = degrade_after
-        self.health = PoolHealth()
+        #: The pool's telemetry plane; a session passes its own so one
+        #: scrape covers the whole stack, a standalone pool gets a
+        #: private enabled plane.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.health = PoolHealth(self.telemetry)
+        self._m_payload_ships = self.telemetry.counter("pool.payload_ships")
+        self._m_faults_injected = self.telemetry.counter(
+            "pool.faults_injected")
+        self._m_call_seconds = self.telemetry.histogram("pool.call.seconds")
         self._executor: ProcessPoolExecutor | None = None
         #: The object the current executor's workers were initialised
         #: with (via :meth:`starmap_shared`); ``None`` = no initializer.
         self._shared: object | None = None
-        #: Times a shared object was delivered through an executor
-        #: build.  For a handle-backed shipment each delivery is a few
-        #: hundred bytes; for a plain object it is the full pickle.  A
-        #: caller holding one shipment across runs sees this stay at 1.
-        self.payload_ships = 0
         #: Global task ordinal (fault plans key injections off this).
         self._task_seq = itertools.count()
         self._rng = random.Random(seed)
+
+    @property
+    def payload_ships(self) -> int:
+        """Times a shared object was delivered through an executor
+        build (the ``pool.payload_ships`` counter).  For a handle-backed
+        shipment each delivery is a few hundred bytes; for a plain
+        object it is the full pickle.  A caller holding one shipment
+        across runs sees this stay at 1.
+        """
+        return int(self._m_payload_ships.value)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -275,7 +349,7 @@ class WorkPool:
         if self._executor is None:
             self._shared = shared
             if shared is not None:
-                self.payload_ships += 1
+                self._m_payload_ships.inc()
             self._executor = ProcessPoolExecutor(
                 max_workers=self.n_workers,
                 initializer=_install_shared if shared is not None else None,
@@ -311,8 +385,10 @@ class WorkPool:
 
     def reset_health(self) -> None:
         """Forget failure history and leave degraded mode (operator path
-        back to pooled execution once the underlying cause is fixed)."""
-        self.health = PoolHealth()
+        back to pooled execution once the underlying cause is fixed).
+        The underlying registry counters stay monotone; only the
+        :class:`PoolHealth` view is rebaselined to zero."""
+        self.health.reset()
 
     def close(self) -> None:
         """Shut down worker processes (idempotent).
@@ -405,6 +481,9 @@ class WorkPool:
         if plan is not None:
             spec = plan.take(next(self._task_seq))
         if spec is not None:
+            self._m_faults_injected.inc()
+            self.telemetry.event("fault.injected", kind=spec.kind,
+                                 task_seq=spec.task_seq)
             return executor.submit(faults.apply_fault, spec, call, fn, *args)
         return executor.submit(call, fn, *args)
 
@@ -430,6 +509,15 @@ class WorkPool:
         failures: list[BaseException] = []
         cycle = 0
         self.health.calls += 1
+        call_start = time.perf_counter()
+        try:
+            return self._supervised_loop(fn, shared, tuples, policy, results,
+                                         pending, attempts, failures, cycle)
+        finally:
+            self._m_call_seconds.observe(time.perf_counter() - call_start)
+
+    def _supervised_loop(self, fn, shared, tuples, policy, results, pending,
+                         attempts, failures, cycle) -> list:
         while True:
             executor = self._executor_handle(shared=shared)
             futures = {}

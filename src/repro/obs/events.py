@@ -1,0 +1,83 @@
+"""Bounded structured event log (plan decisions, degradation, faults).
+
+Metrics answer "how much"; the event log answers "what happened, in what
+order".  Each :meth:`EventLog.emit` appends one typed record — a kind
+string in the same dot-separated namespace as the metrics
+(``plan.decision``, ``pool.degraded``, ``cache.evicted``,
+``fault.injected``) plus arbitrary JSON-ready fields — to a bounded
+deque, and bumps an ``events.<kind>`` counter so the *count* survives
+after the record itself rotates out of the buffer.
+
+The log is append-only and lossy by design (oldest evicted): it is an
+operator diagnostic, not an audit trail.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["Event", "EventLog"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured occurrence (JSON-ready via :meth:`as_dict`)."""
+
+    seq: int
+    kind: str
+    at_seconds: float          #: seconds since log creation
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"seq": self.seq, "kind": self.kind,
+                "at_seconds": self.at_seconds, "fields": dict(self.fields)}
+
+
+class EventLog:
+    """Bounded append-only event buffer over a metrics registry."""
+
+    def __init__(self, registry: MetricsRegistry,
+                 max_events: int = 1024) -> None:
+        self._registry = registry
+        self._events: deque[Event] = deque(maxlen=max_events)
+        self._seq = itertools.count(1)
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+
+    def emit(self, kind: str, /, **fields) -> Optional[Event]:
+        """Record one event; returns it (``None`` when disabled)."""
+        if not self._registry.enabled:
+            return None
+        with self._lock:
+            event = Event(
+                seq=next(self._seq), kind=kind,
+                at_seconds=time.perf_counter() - self._epoch,
+                fields=fields,
+            )
+            self._events.append(event)
+        self._registry.counter(f"events.{kind}").inc()
+        return event
+
+    def tail(self, n: int | None = None,
+             kind: str | None = None) -> List[Event]:
+        """Most recent events (oldest first), optionally by kind."""
+        with self._lock:
+            events = list(self._events)
+        if kind is not None:
+            events = [e for e in events if e.kind == kind]
+        if n is not None:
+            events = events[-n:]
+        return events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def snapshot(self) -> List[dict]:
+        return [e.as_dict() for e in self.tail()]

@@ -1,0 +1,388 @@
+"""Lock-cheap metrics registry: counters, gauges, fixed-bucket histograms.
+
+Every metric is a tiny object with its own ``threading.Lock`` held only
+for the handful of arithmetic ops in one update — callers cache the
+metric handle at construction time so the hot path is one lock plus a
+float add, never a registry lookup.  A registry created with
+``enabled=False`` hands out a shared no-op metric instead: updates
+compile down to an attribute call that does nothing, which is what the
+overhead guard in ``tests/test_obs.py`` holds the instrumented paths to.
+
+Export is pull-based and dual-format:
+
+- :meth:`MetricsRegistry.snapshot` — the flat ``{dot.name: value}`` dict
+  (the convention documented in :mod:`repro.obs`); histograms expand to
+  ``name.count`` / ``name.sum`` / ``name.max`` / ``name.p50`` /
+  ``name.p95`` / ``name.p99``.
+- :meth:`MetricsRegistry.to_prometheus_text` — the standard exposition
+  format (``# TYPE`` lines, cumulative ``_bucket{le="..."}`` series).
+  :func:`parse_prometheus_text` parses it back so benches can assert the
+  round trip: ``parse_prometheus_text(reg.to_prometheus_text()) ==
+  reg.samples()``.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, Sequence
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS", "prometheus_name", "parse_prometheus_text",
+]
+
+#: Prefix for every exported prometheus sample (the repo's namespace).
+PROMETHEUS_PREFIX = "repro_"
+
+#: Default histogram bounds: latency seconds from 100µs to 10s, roughly
+#: log-spaced — wide enough for a cache hit and a cold pooled sweep.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(flat_name: str) -> str:
+    """Mangle a flat dot-separated metric name into a prometheus one
+    (``serve.request.seconds`` → ``repro_serve_request_seconds``)."""
+    return PROMETHEUS_PREFIX + _NAME_RE.sub("_", flat_name)
+
+
+def _fmt(value: float) -> str:
+    """Exposition-format float that round-trips exactly through
+    :func:`float` (integers render bare for readability)."""
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+class Counter:
+    """Monotonically non-decreasing count (events, bytes, rows)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Point-in-time level (queue depth, degraded flag, calibrated rate).
+
+    ``track_max`` keeps a high-water mark alongside the live value —
+    queue depth's peak matters more than wherever the needle happens to
+    rest when the scrape lands.
+    """
+
+    __slots__ = ("name", "track_max", "_lock", "_value", "_max")
+
+    def __init__(self, name: str, track_max: bool = False) -> None:
+        self.name = name
+        self.track_max = track_max
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._max = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+            if self._value > self._max:
+                self._max = self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+            if self._value > self._max:
+                self._max = self._value
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def max_value(self) -> float:
+        return self._max
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution (latencies, batch occupancy).
+
+    ``bounds`` are inclusive upper bounds (prometheus ``le`` semantics)
+    plus an implicit ``+Inf`` overflow bucket.  Quantiles interpolate
+    linearly inside the covering bucket; the overflow bucket reports the
+    maximum observed value (the honest answer when the distribution
+    escapes the configured range).
+    """
+
+    __slots__ = ("name", "bounds", "_lock", "_counts", "_sum", "_count",
+                 "_max")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs >= 1 bucket bound")
+        self.name = name
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._counts[bisect_left(self.bounds, value)] += 1
+            self._sum += value
+            self._count += 1
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def max_value(self) -> float:
+        return self._max
+
+    def bucket_counts(self) -> Dict[float, int]:
+        """Cumulative count per upper bound, ``float("inf")`` last."""
+        with self._lock:
+            counts = list(self._counts)
+        out: Dict[float, int] = {}
+        cum = 0
+        for bound, c in zip(self.bounds, counts):
+            cum += c
+            out[bound] = cum
+        out[float("inf")] = cum + counts[-1]
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolation quantile estimate, 0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            observed_max = self._max
+        if total == 0:
+            return 0.0
+        target = q * total
+        cum = 0.0
+        lower = 0.0
+        for bound, c in zip(self.bounds, counts):
+            if c and cum + c >= target:
+                estimate = lower + (target - cum) / c * (bound - lower)
+                return min(estimate, observed_max)
+            cum += c
+            lower = bound
+        return observed_max
+
+    def snapshot_into(self, out: Dict[str, float]) -> None:
+        out[self.name + ".count"] = float(self._count)
+        out[self.name + ".sum"] = self._sum
+        out[self.name + ".max"] = self._max
+        out[self.name + ".p50"] = self.quantile(0.50)
+        out[self.name + ".p95"] = self.quantile(0.95)
+        out[self.name + ".p99"] = self.quantile(0.99)
+
+
+class _NoopMetric:
+    """Shared stand-in handed out by a disabled registry: every update
+    is a no-op, every read is zero.  One instance serves all names."""
+
+    __slots__ = ()
+
+    name = "noop"
+    track_max = False
+    bounds = DEFAULT_LATENCY_BUCKETS
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def max_value(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    @property
+    def sum(self) -> float:
+        return 0.0
+
+    def bucket_counts(self) -> Dict[float, int]:
+        return {}
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def snapshot_into(self, out: Dict[str, float]) -> None:
+        pass
+
+
+NOOP_METRIC = _NoopMetric()
+
+
+class MetricsRegistry:
+    """Name → metric map with get-or-create semantics.
+
+    Creation takes the registry lock once; updates take only the
+    metric's own lock.  Asking for an existing name with a different
+    metric kind is a programming error and raises ``ValueError``.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, cls, *args, **kwargs):
+        if not self.enabled:
+            return NOOP_METRIC
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, *args, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str, track_max: bool = False) -> Gauge:
+        return self._get_or_create(name, Gauge, track_max)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] | None = None) -> Histogram:
+        if buckets is None:
+            buckets = DEFAULT_LATENCY_BUCKETS
+        return self._get_or_create(name, Histogram, buckets)
+
+    def names(self) -> Iterable[str]:
+        with self._lock:
+            return list(self._metrics)
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``{dot.name: value}`` view of every registered metric."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        out: Dict[str, float] = {}
+        for metric in metrics:
+            if isinstance(metric, Counter):
+                out[metric.name] = metric.value
+            elif isinstance(metric, Gauge):
+                out[metric.name] = metric.value
+                if metric.track_max:
+                    out[metric.name + ".max"] = metric.max_value
+            elif isinstance(metric, Histogram):
+                metric.snapshot_into(out)
+        return out
+
+    def samples(self) -> Dict[str, float]:
+        """The exact prometheus sample set ``to_prometheus_text`` renders
+        (mangled names, ``{le="..."}`` labels) — the round-trip anchor."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        out: Dict[str, float] = {}
+        for metric in metrics:
+            pname = prometheus_name(metric.name)
+            if isinstance(metric, Counter):
+                out[pname] = metric.value
+            elif isinstance(metric, Gauge):
+                out[pname] = metric.value
+                if metric.track_max:
+                    out[pname + "_max"] = metric.max_value
+            elif isinstance(metric, Histogram):
+                for bound, cum in metric.bucket_counts().items():
+                    le = "+Inf" if bound == float("inf") else _fmt(bound)
+                    out[f'{pname}_bucket{{le="{le}"}}'] = float(cum)
+                out[pname + "_sum"] = metric.sum
+                out[pname + "_count"] = float(metric.count)
+        return out
+
+    def to_prometheus_text(self) -> str:
+        """Standard exposition format (one ``# TYPE`` block per metric)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        lines: list[str] = []
+        for metric in metrics:
+            pname = prometheus_name(metric.name)
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {pname} counter")
+                lines.append(f"{pname} {_fmt(metric.value)}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {pname} gauge")
+                lines.append(f"{pname} {_fmt(metric.value)}")
+                if metric.track_max:
+                    lines.append(f"# TYPE {pname}_max gauge")
+                    lines.append(f"{pname}_max {_fmt(metric.max_value)}")
+            elif isinstance(metric, Histogram):
+                lines.append(f"# TYPE {pname} histogram")
+                for bound, cum in metric.bucket_counts().items():
+                    le = "+Inf" if bound == float("inf") else _fmt(bound)
+                    lines.append(f'{pname}_bucket{{le="{le}"}} {cum}')
+                lines.append(f"{pname}_sum {_fmt(metric.sum)}")
+                lines.append(f"{pname}_count {metric.count}")
+        return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Parse exposition text back to ``{sample_name: value}`` (labels kept
+    inside the key) — the inverse of :meth:`MetricsRegistry.samples`."""
+    out: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        out[name] = float(value)
+    return out

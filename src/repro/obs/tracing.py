@@ -1,0 +1,160 @@
+"""Span tracing of the request path: nesting, wall *and* CPU time.
+
+``Tracer.span(name)`` is a context manager.  Spans nest per thread via a
+thread-local stack, so the serving layer's broker thread and the caller
+threads each get their own parent/child chain — a batch span opened on
+the broker thread parents the stack/dispatch/merge children it opens,
+while the submitting threads' request spans stay separate, which is
+exactly how the work is actually scheduled.
+
+Each finished span records:
+
+- ``wall_seconds`` — ``perf_counter`` delta (queueing + execution);
+- ``cpu_seconds`` — ``thread_time`` delta (this thread's CPU burn, so a
+  span that mostly *waits* — queue wait, pool futures — shows a large
+  wall/cpu gap, the signature of a data-movement bottleneck);
+- ``parent_id`` / ``span_id`` ordering (children finish before parents).
+
+Finished spans land in a bounded deque (oldest evicted) and each one
+feeds a ``span.<name>.seconds`` histogram in the registry, so the
+percentile view survives even after the individual records rotate out.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["SpanRecord", "Tracer"]
+
+#: Wider-than-latency bounds for span histograms (a staging span can
+#: legitimately take tens of seconds on bench shapes).
+SPAN_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+
+@dataclass
+class SpanRecord:
+    """One finished span (JSON-ready via :meth:`as_dict`)."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    thread: str
+    started_at: float          #: seconds since tracer creation
+    wall_seconds: float
+    cpu_seconds: float
+    annotations: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread": self.thread,
+            "started_at": self.started_at,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "annotations": dict(self.annotations),
+        }
+
+
+class _ActiveSpan:
+    """Handle yielded inside ``with tracer.span(...)`` — annotate only."""
+
+    __slots__ = ("name", "span_id", "parent_id", "annotations")
+
+    def __init__(self, name: str, span_id: int,
+                 parent_id: Optional[int], annotations: dict) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.annotations = annotations
+
+    def annotate(self, **fields) -> None:
+        self.annotations.update(fields)
+
+
+class _NoopSpan:
+    __slots__ = ()
+    name = "noop"
+    span_id = 0
+    parent_id = None
+    annotations: Dict[str, object] = {}
+
+    def annotate(self, **fields) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Bounded, thread-aware span recorder over a metrics registry."""
+
+    def __init__(self, registry: MetricsRegistry,
+                 max_spans: int = 512) -> None:
+        self._registry = registry
+        self._records: deque[SpanRecord] = deque(maxlen=max_spans)
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._epoch = time.perf_counter()
+
+    def _stack(self) -> List[_ActiveSpan]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **annotations) -> Iterator[_ActiveSpan]:
+        if not self._registry.enabled:
+            yield _NOOP_SPAN
+            return
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        active = _ActiveSpan(
+            name, next(self._ids),
+            parent.span_id if parent is not None else None,
+            dict(annotations),
+        )
+        stack.append(active)
+        t0 = time.perf_counter()
+        c0 = time.thread_time()
+        try:
+            yield active
+        finally:
+            wall = time.perf_counter() - t0
+            cpu = time.thread_time() - c0
+            stack.pop()
+            self._records.append(SpanRecord(
+                name=active.name,
+                span_id=active.span_id,
+                parent_id=active.parent_id,
+                thread=threading.current_thread().name,
+                started_at=t0 - self._epoch,
+                wall_seconds=wall,
+                cpu_seconds=cpu,
+                annotations=active.annotations,
+            ))
+            self._registry.histogram(
+                f"span.{name}.seconds", SPAN_BUCKETS
+            ).observe(wall)
+
+    def records(self, name: str | None = None) -> List[SpanRecord]:
+        """Finished spans in completion order (children before parents),
+        optionally filtered by span name."""
+        records = list(self._records)
+        if name is not None:
+            records = [r for r in records if r.name == name]
+        return records
+
+    def snapshot(self) -> List[dict]:
+        return [r.as_dict() for r in self._records]

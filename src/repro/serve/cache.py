@@ -28,7 +28,16 @@ from dataclasses import dataclass
 from repro.core.layer import Layer
 from repro.errors import ConfigurationError
 
-__all__ = ["CachePolicy", "CacheStats", "ResultCache", "layer_digest"]
+__all__ = ["CachePolicy", "CacheStats", "ResultCache", "layer_digest",
+           "payload_nbytes"]
+
+
+def payload_nbytes(payload) -> int:
+    """Approximate payload footprint (``nbytes`` when exposed — YLTs and
+    EP curves — else a small flat charge per entry).  Public so the
+    service's telemetry can account cache hit/miss bytes with the same
+    sizing rule the cache's byte budget uses."""
+    return int(getattr(payload, "nbytes", 64))
 
 
 def layer_digest(layer: Layer) -> str:
@@ -95,11 +104,7 @@ class ResultCache:
         self._bytes = 0
         self.stats = CacheStats()
 
-    @staticmethod
-    def _payload_nbytes(payload) -> int:
-        """Approximate payload footprint (``nbytes`` when exposed —
-        YLTs and EP curves — else a small flat charge per entry)."""
-        return int(getattr(payload, "nbytes", 64))
+    _payload_nbytes = staticmethod(payload_nbytes)
 
     def __len__(self) -> int:
         with self._lock:

@@ -57,6 +57,7 @@ from repro.core.tables import YetTable
 from repro.errors import ConfigurationError
 from repro.hpc import shm
 from repro.hpc.pool import PoolHealth, TaskPolicy, WorkPool
+from repro.obs import Telemetry, as_telemetry
 
 __all__ = ["Dispatcher", "InlineDispatcher", "PooledDispatcher",
            "make_dispatcher"]
@@ -166,9 +167,13 @@ class PooledDispatcher(Dispatcher):
     name = "pooled"
 
     def __init__(self, n_workers: int | None = None,
-                 transport: str = "auto") -> None:
+                 transport: str = "auto",
+                 telemetry: Telemetry | bool | None = None) -> None:
         shm.validate_transport(transport, ConfigurationError)
-        self.pool = WorkPool(n_workers)
+        #: The dispatcher's telemetry plane, shared with its pool (a
+        #: session passes its own so one scrape covers the stack).
+        self.telemetry = as_telemetry(telemetry)
+        self.pool = WorkPool(n_workers, telemetry=self.telemetry)
         self.transport = transport
         self._shared = None
         self._shared_fp: str | None = None
@@ -181,6 +186,8 @@ class PooledDispatcher(Dispatcher):
         #: are freed at the next swap and the rest at close().
         self._yet_arenas: list[shm.SharedArena] = []
         self._slab: shm.ShmSlab | None = None
+        self._m_slab_generations = self.telemetry.gauge(
+            "dispatch.slab.generations")
         #: Guards bundle swaps and the slab: the bundle/arena state is
         #: check-then-mutate, and the slab is single-writer with the
         #: in-flight batch as its readers — concurrent callers (the
@@ -250,6 +257,12 @@ class PooledDispatcher(Dispatcher):
 
     def run(self, kernel: PortfolioKernel, yet: YetTable,
             policy: TaskPolicy | None = None) -> np.ndarray:
+        with self.telemetry.span("dispatch.pooled",
+                                 transport=self.transport_active):
+            return self._run(kernel, yet, policy)
+
+    def _run(self, kernel: PortfolioKernel, yet: YetTable,
+             policy: TaskPolicy | None = None) -> np.ndarray:
         if self.pool.health.degraded:
             # Graceful degradation: the pool has failed terminally too
             # many consecutive times, so the batch runs on the calling
@@ -273,6 +286,7 @@ class PooledDispatcher(Dispatcher):
                 if self._slab is None:
                     self._slab = shm.ShmSlab()
                 handles = kernel.export_handles(self._slab)
+                self._m_slab_generations.set(self._slab.generations)
                 partials = self.pool.starmap_shared(
                     _sweep_rows_handles, shared,
                     [(handles, r0, r1, t0, t1) for r0, r1, t0, t1 in spans],

@@ -47,7 +47,6 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass
 
 from repro.analytics.ep_curves import EpCurve
 from repro.core.kernels import PortfolioKernel
@@ -57,9 +56,11 @@ from repro.dfa.quote import PricingQuote, premium_components
 from repro.errors import (AdmissionError, AnalysisError, ConfigurationError,
                           ExecutionError, ReproError)
 from repro.hpc.pool import TaskPolicy
+from repro.obs import Telemetry
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import BatchPolicy, MicroBatcher, Ticket
-from repro.serve.cache import CachePolicy, ResultCache, layer_digest
+from repro.serve.cache import (CachePolicy, ResultCache, layer_digest,
+                               payload_nbytes)
 from repro.serve.dispatch import Dispatcher, make_dispatcher
 
 __all__ = ["PricingService", "ServeStats"]
@@ -68,25 +69,47 @@ __all__ = ["PricingService", "ServeStats"]
 _METRICS = ("quote", "ylt", "ep_curve")
 
 
-@dataclass
 class ServeStats:
     """Aggregate counters of one service instance (bounded state only —
-    a long-lived service must not grow per-batch history)."""
+    a long-lived service must not grow per-batch history).
 
-    requests: int = 0
-    cache_hits: int = 0
-    shed: int = 0
-    batches: int = 0
-    batched_requests: int = 0
-    kernel_rows: int = 0
-    largest_batch: int = 0
-    sweep_seconds: float = 0.0
-    #: Batches whose stacked kernel qualified for the sublinear
-    #: tail-group sweep (same-book rows, terms reducing to clip(g,lo,hi))
-    #: and rows that priced through it — the many-quotes-one-book shape
-    #: ``quote_many`` produces.
-    sublinear_batches: int = 0
-    sublinear_rows: int = 0
+    Since the telemetry plane landed this is a *view over the service's*
+    :class:`~repro.obs.Telemetry` plane: every attribute reads a
+    ``serve.*`` registry metric.  Attribute access is kept for backward
+    compatibility but **deprecated** — new code should scrape
+    :attr:`PricingService.telemetry` (or :meth:`snapshot`) instead of
+    poking fields.  ``sublinear_batches``/``sublinear_rows`` count
+    batches whose stacked kernel qualified for the sublinear tail-group
+    sweep (same-book rows, terms reducing to ``clip(g, lo, hi)``) and
+    the rows that priced through it — the many-quotes-one-book shape
+    ``quote_many`` produces.
+    """
+
+    #: Attribute → counter metric name (the flat dot-key convention of
+    #: :mod:`repro.obs`).
+    _COUNTER_FIELDS = {
+        "requests": "serve.requests",
+        "cache_hits": "serve.cache.hits",
+        "shed": "serve.shed",
+        "batches": "serve.batches",
+        "batched_requests": "serve.batched_requests",
+        "kernel_rows": "serve.kernel_rows",
+        "sweep_seconds": "serve.sweep_seconds",
+        "sublinear_batches": "serve.sublinear.batches",
+        "sublinear_rows": "serve.sublinear.rows",
+    }
+
+    def __init__(self, telemetry: Telemetry | None = None) -> None:
+        self._tel = telemetry if telemetry is not None else Telemetry()
+        self._counters = {attr: self._tel.counter(name)
+                          for attr, name in self._COUNTER_FIELDS.items()}
+        self._largest = self._tel.gauge("serve.largest_batch",
+                                        track_max=True)
+
+    @property
+    def largest_batch(self) -> int:
+        """Peak requests coalesced into one batch (a high-water gauge)."""
+        return int(self._largest.max_value)
 
     @property
     def sweeps(self) -> int:
@@ -97,6 +120,31 @@ class ServeStats:
     def coalescing_factor(self) -> float:
         """Requests answered per YET sweep (the serving layer's win)."""
         return self.batched_requests / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-ready flat dict in the ``serve.*`` dot-key convention of
+        :mod:`repro.obs` (merges cleanly with a registry snapshot)."""
+        out = {name: getattr(self, attr)
+               for attr, name in self._COUNTER_FIELDS.items()}
+        out["serve.largest_batch"] = self.largest_batch
+        out["serve.coalescing_factor"] = self.coalescing_factor
+        return out
+
+
+def _serve_counter_view(attr: str, name: str, cast) -> property:
+    """A ``ServeStats`` attribute backed by a registry counter."""
+
+    def fget(self: ServeStats):
+        return cast(self._counters[attr].value)
+
+    return property(fget, doc=f"Counter view of {name} (deprecated "
+                              "attribute access; scrape telemetry).")
+
+
+for _attr, _name in ServeStats._COUNTER_FIELDS.items():
+    _cast = float if _attr == "sweep_seconds" else int
+    setattr(ServeStats, _attr, _serve_counter_view(_attr, _name, _cast))
+del _attr, _name, _cast
 
 
 class _Request:
@@ -188,6 +236,11 @@ class PricingService:
             # the service adopts and closes it.
             self.dispatcher = make_dispatcher(engine)
             self._owns_dispatch = True
+            #: The service's telemetry plane — shares the dispatcher's
+            #: when it has one (pooled), else a private plane.
+            self.telemetry = getattr(self.dispatcher, "telemetry", None)
+            if self.telemetry is None:
+                self.telemetry = Telemetry()
         else:
             if session is None:
                 from repro.session import RiskSession
@@ -204,6 +257,10 @@ class PricingService:
                 )
             self.dispatcher = session.dispatcher(engine)
             self._owns_dispatch = False
+            # One plane for the whole stack: scraping either the session
+            # or the service sees session, planner, pool, and serve
+            # metrics together.
+            self.telemetry = session.telemetry
         self.cache = (cache if isinstance(cache, ResultCache)
                       else ResultCache(cache))
         self.admission = AdmissionController(
@@ -229,9 +286,37 @@ class PricingService:
             "ylt": "ylt",
             "ep_curve": "ep_curve",
         }
-        self.stats = ServeStats()
-        #: Guards the (non-atomic) counter updates on :attr:`stats` —
-        #: submitters and the broker thread mutate them concurrently.
+        self.stats = ServeStats(self.telemetry)
+        # Metric handles are grabbed once here so the request path pays
+        # one lock + one add per touch point, never a registry lookup.
+        tel = self.telemetry
+        self._m_requests = tel.counter("serve.requests")
+        self._m_cache_hits = tel.counter("serve.cache.hits")
+        self._m_cache_hit_bytes = tel.counter("serve.cache.hit_bytes")
+        self._m_cache_miss_bytes = tel.counter("serve.cache.miss_bytes")
+        self._m_cache_evictions = tel.counter("serve.cache.evictions")
+        self._m_shed = tel.counter("serve.shed")
+        self._m_batches = tel.counter("serve.batches")
+        self._m_batched_requests = tel.counter("serve.batched_requests")
+        self._m_kernel_rows = tel.counter("serve.kernel_rows")
+        self._m_sweep_seconds = tel.counter("serve.sweep_seconds")
+        self._m_sublinear_batches = tel.counter("serve.sublinear.batches")
+        self._m_sublinear_rows = tel.counter("serve.sublinear.rows")
+        self._m_largest_batch = tel.gauge("serve.largest_batch",
+                                          track_max=True)
+        self._m_queue_depth = tel.gauge("serve.queue.depth", track_max=True)
+        self._m_lanes_per_s = tel.gauge("serve.admission.lanes_per_second")
+        self._m_queue_wait = tel.histogram("serve.queue.wait_seconds")
+        self._m_request_seconds = tel.histogram("serve.request.seconds")
+        self._m_batch_occupancy = tel.histogram(
+            "serve.batch.occupancy",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+        )
+        #: Eviction watermark for the delta-based ``serve.cache.evictions``
+        #: counter (the cache keeps its own plain stats).
+        self._evictions_seen = self.cache.stats.evictions
+        #: Legacy lock kept for API compatibility; counter updates now
+        #: synchronise inside the registry metrics themselves.
         self._stats_lock = threading.Lock()
         self._yet_fp = yet.fingerprint()
         self._closed = False
@@ -290,8 +375,7 @@ class PricingService:
                 f"unknown metric {metric!r}; expected one of {_METRICS}"
             )
         submitted = time.perf_counter()
-        with self._stats_lock:
-            self.stats.requests += 1
+        self._m_requests.inc()
         digest = layer_digest(layer)
         payload = self.cache.get(
             (self._yet_fp, digest, self._metric_keys[metric])
@@ -299,8 +383,8 @@ class PricingService:
         if payload is not None:
             future: Future = Future()
             future.set_result(self._materialise(payload, metric, submitted))
-            with self._stats_lock:
-                self.stats.cache_hits += 1
+            self._m_cache_hits.inc()
+            self._m_cache_hit_bytes.inc(payload_nbytes(payload))
             return Ticket(future, submitted, cached=True)
         decision = self.admission.decide(
             self.batcher.n_pending,
@@ -309,11 +393,13 @@ class PricingService:
             window_seconds=self.batcher.policy.window_seconds,
         )
         if not decision.accepted:
-            with self._stats_lock:
-                self.stats.shed += 1
+            self._m_shed.inc()
+            self.telemetry.event("serve.shed", reason=decision.reason,
+                                 queue_depth=self.batcher.n_pending)
             raise AdmissionError(decision.reason)
         request = _Request(layer, metric, digest)
         future = self.batcher.submit(request)
+        self._m_queue_depth.set(self.batcher.n_pending)
         return Ticket(future, submitted)
 
     def flush(self) -> int:
@@ -377,30 +463,48 @@ class PricingService:
     # -- batch pricing (the batcher's flush_fn) ----------------------------
 
     def _price_batch(self, pendings) -> list:
-        """Price one micro-batch: stack, sweep once, settle every request."""
+        """Price one micro-batch: stack, sweep once, settle every request.
+
+        Traced as a ``serve.batch`` span with ``serve.stack`` →
+        ``serve.dispatch`` → ``serve.merge`` children, so the request
+        path's wall/CPU split is scrapeable per stage.
+        """
+        with self.telemetry.span("serve.batch", n_requests=len(pendings)):
+            return self._price_batch_inner(pendings)
+
+    def _price_batch_inner(self, pendings) -> list:
+        batch_start = time.perf_counter()
+        for p in pendings:
+            self._m_queue_wait.observe(max(batch_start - p.enqueued_at, 0.0))
+        self._m_batch_occupancy.observe(len(pendings))
+        self._m_queue_depth.set(self.batcher.n_pending)
         requests = [p.item for p in pendings]
         # Snapshot the trial set once: every request in this batch is
         # priced — and cached — against this YET, even if a resimulate
         # swaps the service's YET while the sweep runs.
         yet = self.yet
         yet_fp = yet.fingerprint()
-        # Duplicate submissions inside one window collapse to one kernel
-        # row; rows are keyed by first-seen digest order.
-        row_ids: dict[str, int] = {}
-        unique_layers: list[Layer] = []
-        for req in requests:
-            if req.digest not in row_ids:
-                row_ids[req.digest] = len(unique_layers)
-                unique_layers.append(req.layer)
-        kernel = PortfolioKernel.from_layers(
-            unique_layers,
-            layer_ids=range(len(unique_layers)),
-            dense_max_entries=self.dense_max_entries,
-        )
+        with self.telemetry.span("serve.stack"):
+            # Duplicate submissions inside one window collapse to one
+            # kernel row; rows are keyed by first-seen digest order.
+            row_ids: dict[str, int] = {}
+            unique_layers: list[Layer] = []
+            for req in requests:
+                if req.digest not in row_ids:
+                    row_ids[req.digest] = len(unique_layers)
+                    unique_layers.append(req.layer)
+            kernel = PortfolioKernel.from_layers(
+                unique_layers,
+                layer_ids=range(len(unique_layers)),
+                dense_max_entries=self.dense_max_entries,
+            )
         t0 = time.perf_counter()
         try:
-            final = self.dispatcher.run(kernel, yet,
-                                        policy=self._dispatch_policy)
+            with self.telemetry.span("serve.dispatch",
+                                     rows=kernel.n_layers,
+                                     dispatcher=self.dispatcher.name):
+                final = self.dispatcher.run(kernel, yet,
+                                            policy=self._dispatch_policy)
         except ReproError:
             raise  # already typed (ExecutionError from supervision etc.)
         except Exception as exc:
@@ -422,42 +526,50 @@ class PricingService:
             seconds=sweep_seconds,
             n_procs=self.dispatcher.n_procs,
         )
+        self._m_lanes_per_s.set(self.admission.lanes_per_second or 0.0)
         # Structural property of the stacked batch: rows in same-lookup
         # groups whose terms factor price through the kernel's sublinear
         # histogram path (the routing itself is inside kernel.run).
         tail_rows = kernel.tail_group_rows
-        with self._stats_lock:
-            self.stats.batches += 1
-            self.stats.batched_requests += len(requests)
-            self.stats.kernel_rows += kernel.n_layers
-            self.stats.sweep_seconds += sweep_seconds
-            self.stats.largest_batch = max(self.stats.largest_batch,
-                                           len(requests))
-            if tail_rows:
-                self.stats.sublinear_batches += 1
-                self.stats.sublinear_rows += tail_rows
+        self._m_batches.inc()
+        self._m_batched_requests.inc(len(requests))
+        self._m_kernel_rows.inc(kernel.n_layers)
+        self._m_sweep_seconds.inc(sweep_seconds)
+        self._m_largest_batch.set(len(requests))
+        if tail_rows:
+            self._m_sublinear_batches.inc()
+            self._m_sublinear_rows.inc(tail_rows)
 
         # One payload per (digest, metric) actually requested, cached
         # and fanned back out to every request that asked for it.
-        payloads: dict[tuple[str, str], object] = {}
-        results = []
-        for p in pendings:
-            req = p.item
-            pkey = (req.digest, req.metric)
-            payload = payloads.get(pkey)
-            if payload is None:
-                row = kernel.row_of(row_ids[req.digest])
-                payload = self._build_payload(final[row], req.metric, req.layer)
-                if req.metric == "quote":
-                    payload = (*payload, sim_tps)
-                payloads[pkey] = payload
-                self.cache.put(
-                    (yet_fp, req.digest, self._metric_keys[req.metric]),
-                    payload,
+        with self.telemetry.span("serve.merge"):
+            payloads: dict[tuple[str, str], object] = {}
+            results = []
+            for p in pendings:
+                req = p.item
+                pkey = (req.digest, req.metric)
+                payload = payloads.get(pkey)
+                if payload is None:
+                    row = kernel.row_of(row_ids[req.digest])
+                    payload = self._build_payload(final[row], req.metric,
+                                                  req.layer)
+                    if req.metric == "quote":
+                        payload = (*payload, sim_tps)
+                    payloads[pkey] = payload
+                    self._m_cache_miss_bytes.inc(payload_nbytes(payload))
+                    self.cache.put(
+                        (yet_fp, req.digest, self._metric_keys[req.metric]),
+                        payload,
+                    )
+                results.append(
+                    self._materialise(payload, req.metric, p.enqueued_at)
                 )
-            results.append(
-                self._materialise(payload, req.metric, p.enqueued_at)
-            )
+            evictions = self.cache.stats.evictions
+            if evictions > self._evictions_seen:
+                freed = evictions - self._evictions_seen
+                self._evictions_seen = evictions
+                self._m_cache_evictions.inc(freed)
+                self.telemetry.event("cache.evicted", n_entries=freed)
         return results
 
     # -- payloads ----------------------------------------------------------
@@ -482,12 +594,13 @@ class PricingService:
         corruptible.  EP curves are immutable (a private sorted sample)
         and quotes rebuild from a tuple, so both share safely.
         """
+        latency = max(time.perf_counter() - submitted_at, 1e-9)
+        self._m_request_seconds.observe(latency)
         if metric == "ylt":
             return YltTable(payload.losses.copy())
         if metric == "ep_curve":
             return payload
         expected, vol_load, tail, premium, rol, sim_tps = payload
-        latency = max(time.perf_counter() - submitted_at, 1e-9)
         return PricingQuote(
             expected_loss=expected,
             volatility_load=vol_load,

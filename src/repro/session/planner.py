@@ -30,6 +30,7 @@ from repro.core.engines.registry import auto_candidates, engine_spec
 from repro.errors import ConfigurationError
 from repro.hpc.cost_model import ThroughputEstimate
 from repro.hpc.pool import available_parallelism
+from repro.obs import Telemetry
 
 __all__ = ["EngineEstimate", "ExecutionPlan", "EnginePlanner", "plan_workload"]
 
@@ -158,14 +159,23 @@ class EnginePlanner:
     smoothing:
         EWMA weight for throughput calibration; each observed staged run
         (:meth:`observe`) sharpens later plans.
+    telemetry:
+        An :class:`~repro.obs.Telemetry` plane to report into (a session
+        passes its own).  Each plan emits a ``plan.decision`` event with
+        the chosen engine and every priced alternative; each calibration
+        update emits ``plan.calibration``.  ``None`` = a private plane.
     """
 
     def __init__(self, n_workers: int | None = None,
-                 smoothing: float = 0.3) -> None:
+                 smoothing: float = 0.3,
+                 telemetry: Telemetry | None = None) -> None:
         self.n_workers = (n_workers if n_workers is not None
                           else available_parallelism())
         if self.n_workers < 1:
             self.n_workers = 1
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._m_plans = self.telemetry.counter("planner.plans")
+        self._m_calibrations = self.telemetry.counter("planner.calibrations")
         #: Per-engine calibrated throughput, seeded from the registry.
         self._estimates: dict[str, ThroughputEstimate] = {}
 
@@ -183,7 +193,14 @@ class EnginePlanner:
     def observe(self, engine: str, lanes: float, seconds: float,
                 n_procs: int = 1) -> None:
         """Calibrate one engine's throughput from a measured run."""
-        self._estimate_for(engine).observe(lanes, seconds, n_procs)
+        est = self._estimate_for(engine)
+        est.observe(lanes, seconds, n_procs)
+        self._m_calibrations.inc()
+        self.telemetry.gauge(
+            f"planner.throughput.{engine}").set(est.rate)
+        self.telemetry.event("plan.calibration", engine=engine,
+                             lanes_per_second_per_proc=est.rate,
+                             n_procs=n_procs)
 
     def plan(self, workload: str, *, n_trials: int, n_occurrences: int,
              n_layers: int = 1, pool_warm: bool = False,
@@ -266,6 +283,16 @@ class EnginePlanner:
             )
         chosen = min(eligible, key=lambda e: e.total_seconds)
         chosen_spec = engine_spec(chosen.engine)
+        self._m_plans.inc()
+        self.telemetry.counter(f"planner.chosen.{chosen.engine}").inc()
+        self.telemetry.event(
+            "plan.decision",
+            workload=workload, engine=chosen.engine,
+            modelled_seconds=chosen.total_seconds,
+            n_procs=chosen.n_procs,
+            alternatives={e.engine: (e.total_seconds if e.eligible else None)
+                          for e in estimates if e.engine != chosen.engine},
+        )
         return ExecutionPlan(
             workload=workload,
             engine=chosen.engine,

@@ -44,7 +44,6 @@ from __future__ import annotations
 import inspect
 import threading
 import time
-from dataclasses import dataclass
 
 from repro.analytics.ep_curves import EpCurve, aep_curve, portfolio_ep_curves
 from repro.analytics.sensitivity import term_sensitivities
@@ -57,21 +56,53 @@ from repro.core.tables import YetTable, YltTable
 from repro.errors import ConfigurationError, EngineError
 from repro.hpc import shm
 from repro.hpc.pool import available_parallelism
+from repro.obs import Telemetry, as_telemetry
 from repro.serve.dispatch import Dispatcher, InlineDispatcher, PooledDispatcher
 from repro.session.planner import EnginePlanner, ExecutionPlan
 
 __all__ = ["RiskSession", "SessionStats"]
 
 
-@dataclass
 class SessionStats:
-    """Bounded workload counters for one session."""
+    """Bounded workload counters for one session.
 
-    aggregates: int = 0
-    quotes: int = 0
-    ep_curves: int = 0
-    sensitivity_sweeps: int = 0
-    plans: int = 0
+    A *view over the session's* :class:`~repro.obs.Telemetry` plane:
+    each attribute reads a ``session.*`` registry counter.  Attribute
+    access is kept for compatibility but **deprecated** — scrape
+    ``session.telemetry`` (or :meth:`snapshot`) instead.
+    """
+
+    _COUNTER_FIELDS = {
+        "aggregates": "session.aggregates",
+        "quotes": "session.quotes",
+        "ep_curves": "session.ep_curves",
+        "sensitivity_sweeps": "session.sensitivity_sweeps",
+        "plans": "session.plans",
+    }
+
+    def __init__(self, telemetry: Telemetry | None = None) -> None:
+        self._tel = telemetry if telemetry is not None else Telemetry()
+        self._counters = {attr: self._tel.counter(name)
+                          for attr, name in self._COUNTER_FIELDS.items()}
+
+    def snapshot(self) -> dict:
+        """JSON-ready flat dict in the ``session.*`` dot-key convention
+        of :mod:`repro.obs`."""
+        return {name: getattr(self, attr)
+                for attr, name in self._COUNTER_FIELDS.items()}
+
+
+def _session_counter_view(attr: str, name: str) -> property:
+    def fget(self: SessionStats) -> int:
+        return int(self._counters[attr].value)
+
+    return property(fget, doc=f"Counter view of {name} (deprecated "
+                              "attribute access; scrape telemetry).")
+
+
+for _attr, _name in SessionStats._COUNTER_FIELDS.items():
+    setattr(SessionStats, _attr, _session_counter_view(_attr, _name))
+del _attr, _name
 
 
 class _StagedMulticore(Engine):
@@ -149,7 +180,8 @@ class RiskSession:
                  n_workers: int | None = None, transport: str = "auto",
                  dense_max_entries: int = 4_000_000,
                  volatility_loading: float = 0.25,
-                 tail_loading: float = 0.02) -> None:
+                 tail_loading: float = 0.02,
+                 telemetry: Telemetry | bool | None = None) -> None:
         if not isinstance(yet, YetTable):
             raise ConfigurationError(
                 f"expected YetTable, got {type(yet).__name__}"
@@ -168,8 +200,22 @@ class RiskSession:
         self.tail_loading = tail_loading
         self._n_procs = (n_workers if n_workers is not None
                          else available_parallelism())
-        self._planner = EnginePlanner(n_workers=self._n_procs)
-        self.stats = SessionStats()
+        #: The session's telemetry plane — the public scrape point.  One
+        #: plane covers planner, pool, dispatch, and any pricing service
+        #: built through this session; ``telemetry=False`` is the no-op
+        #: mode the overhead guard compares against.
+        self.telemetry = as_telemetry(telemetry)
+        self._planner = EnginePlanner(n_workers=self._n_procs,
+                                      telemetry=self.telemetry)
+        self.stats = SessionStats(self.telemetry)
+        tel = self.telemetry
+        self._m_aggregates = tel.counter("session.aggregates")
+        self._m_quotes = tel.counter("session.quotes")
+        self._m_ep_curves = tel.counter("session.ep_curves")
+        self._m_sensitivity = tel.counter("session.sensitivity_sweeps")
+        self._m_plans = tel.counter("session.plans")
+        self._m_stages = tel.counter("session.stages")
+        self._m_stage_reuse = tel.counter("session.stage_reuse")
         # Staged state, all lazy: nothing is spawned or placed until a
         # workload actually needs it.
         self._inline: InlineDispatcher | None = None
@@ -199,7 +245,8 @@ class RiskSession:
         """Pay substrate startup now (worker spawn, YET staging) so the
         first workload's latency is pure compute.  No-op for inline."""
         self._check_open()
-        self.dispatcher(engine).warmup(self.yet)
+        with self.telemetry.span("session.stage", engine=str(engine)):
+            self.dispatcher(engine).warmup(self.yet)
 
     def close(self) -> None:
         """Tear down services, engines, pools, and arenas — exactly once
@@ -267,8 +314,14 @@ class RiskSession:
         if spec in ("pooled", "multicore"):
             if self._pooled is None:
                 self._pooled = PooledDispatcher(
-                    n_workers=self.n_workers, transport=self.transport
+                    n_workers=self.n_workers, transport=self.transport,
+                    telemetry=self.telemetry,
                 )
+                self._m_stages.inc()
+            else:
+                # Staged-substrate reuse: another workload rides the
+                # already-staged pool/arena instead of building its own.
+                self._m_stage_reuse.inc()
             return self._pooled
         raise ConfigurationError(
             f"unknown dispatcher {spec!r}; expected 'auto', "
@@ -337,17 +390,18 @@ class RiskSession:
                          and self._pooled.pool.health.degraded)
         pool_warm = (self._pooled is not None and self._pooled.pool.started
                      and not pool_degraded)
-        plan = self._planner.plan(
-            workload,
-            n_trials=self.yet.n_trials,
-            n_occurrences=self.yet.n_occurrences,
-            n_layers=n_layers,
-            pool_warm=pool_warm,
-            pool_degraded=pool_degraded,
-            transport=self._transport_label(),
-            require_emit_yelt=require_emit_yelt,
-        )
-        self.stats.plans += 1
+        with self.telemetry.span("session.plan", workload=workload):
+            plan = self._planner.plan(
+                workload,
+                n_trials=self.yet.n_trials,
+                n_occurrences=self.yet.n_occurrences,
+                n_layers=n_layers,
+                pool_warm=pool_warm,
+                pool_degraded=pool_degraded,
+                transport=self._transport_label(),
+                require_emit_yelt=require_emit_yelt,
+            )
+        self._m_plans.inc()
         return plan
 
     def _transport_label(self) -> str:
@@ -356,20 +410,36 @@ class RiskSession:
             return "shm"
         return "pickle"
 
+    #: Engine-result detail keys re-exported as per-engine counters
+    #: (rows/lanes swept, device uploads — the engine-side telemetry).
+    _ENGINE_DETAIL_COUNTERS = ("occurrences_processed", "tail_group_rows",
+                               "stack_uploads", "sparse_stack_uploads",
+                               "yet_uploads")
+
     def _observe(self, res: EngineResult, n_layers: int) -> None:
-        """Feed a measured run back into the planner's calibration."""
+        """Feed a measured run into telemetry and planner calibration."""
+        lanes = self.yet.n_occurrences * max(n_layers, 1)
+        tel = self.telemetry
+        prefix = f"engine.{res.engine}"
+        tel.counter(prefix + ".runs").inc()
+        tel.counter(prefix + ".seconds").inc(max(res.seconds, 0.0))
+        tel.counter(prefix + ".lanes").inc(lanes)
+        details = res.details or {}
+        for key in self._ENGINE_DETAIL_COUNTERS:
+            value = details.get(key)
+            if value:
+                tel.counter(f"{prefix}.{key}").inc(value)
         try:
             spec = engine_spec(res.engine)
         except EngineError:
             return
         if not spec.auto_candidate:
             return
-        lanes = self.yet.n_occurrences * max(n_layers, 1)
         # Pooled engines report n_workers, the cluster reports n_nodes;
         # normalising to per-processor keeps calibration comparable with
         # the spec's procs_for() pricing.
-        n_procs = int(res.details.get("n_workers")
-                      or res.details.get("n_nodes") or 1)
+        n_procs = int(details.get("n_workers")
+                      or details.get("n_nodes") or 1)
         self._planner.observe(res.engine, lanes, res.seconds, n_procs)
 
     # -- aggregate analysis ------------------------------------------------
@@ -419,9 +489,12 @@ class RiskSession:
                     f"engines that do: {emitters}"
                 )
             eng = self.engine(name, **engine_kwargs)
-        res = eng.run(pf, self.yet, emit_yelt=emit_yelt)
+        with self.telemetry.span("session.sweep",
+                                 engine=getattr(eng, "name", "engine"),
+                                 n_layers=pf.n_layers):
+            res = eng.run(pf, self.yet, emit_yelt=emit_yelt)
         self._observe(res, pf.n_layers)
-        self.stats.aggregates += 1
+        self._m_aggregates.inc()
         result = AnalysisResult.from_engine(res)
         if plan is not None:
             result.details["plan"] = plan
@@ -467,14 +540,14 @@ class RiskSession:
     def quote(self, layer: Layer, timeout: float | None = None):
         """Price one candidate layer against the staged YET."""
         self._check_open()
-        self.stats.quotes += 1
+        self._m_quotes.inc()
         return self._service().quote(layer, timeout=timeout)
 
     def quote_many(self, layers, timeout: float | None = None) -> list:
         """Price several candidates through one coalesced sweep."""
         self._check_open()
         layers = list(layers)
-        self.stats.quotes += len(layers)
+        self._m_quotes.inc(len(layers))
         return self._service().quote_many(layers, timeout=timeout)
 
     def ep_curve(self, layer: Layer | None = None, *,
@@ -486,7 +559,7 @@ class RiskSession:
         curve from one aggregate run.
         """
         self._check_open()
-        self.stats.ep_curves += 1
+        self._m_ep_curves.inc()
         if layer is not None:
             return self._service().ep_curve(layer)
         result = self.aggregate(engine=engine)
@@ -498,7 +571,7 @@ class RiskSession:
         (see :func:`~repro.analytics.ep_curves.portfolio_ep_curves`)."""
         self._check_open()
         result = self.aggregate(portfolio, engine=engine)
-        self.stats.ep_curves += 1
+        self._m_ep_curves.inc()
         return portfolio_ep_curves(result.ylt_by_layer, result.portfolio_ylt)
 
     def sensitivities(self, layer: Layer, *, engine: str | Engine = "auto",
@@ -507,6 +580,6 @@ class RiskSession:
         ~10 bump re-runs reuse one staged substrate instead of
         constructing and tearing one down per sweep."""
         self._check_open()
-        self.stats.sensitivity_sweeps += 1
+        self._m_sensitivity.inc()
         return term_sensitivities(layer, self.yet, engine=engine,
                                   session=self, **kwargs)

@@ -191,3 +191,50 @@ class TestBenchE18Smoke:
         # the placement invariant holds even at toy scale
         assert dev["stack_uploads"] == dev["n_batches"]
         assert dev["yet_uploads"] == dev["n_chunks_total"]
+
+
+class TestBenchE19Smoke:
+    """Tiny-shape run of the open-loop saturation bench (tier-1 guard)."""
+
+    def test_e19_measures_and_round_trips(self):
+        sys.path.insert(0, str(BENCH_DIR))
+        try:
+            import bench_e19_open_loop as e19
+        finally:
+            sys.path.remove(str(BENCH_DIR))
+
+        tiny = dict(n_trials=80, mean_events_per_trial=12.0, n_elts=1,
+                    elt_rows=60, catalog_events=300)
+        record = e19.measure(multiples=(0.25, 2.0), duration_seconds=0.2,
+                             **tiny)
+        assert record["capacity_rps"] > 0
+        # shape-stability: the keys run_tier2 prints and gates on
+        for row in record["rows"]:
+            for key in ("name", "mix", "engine", "offered_rate",
+                        "achieved_offer_rate", "offered", "served", "shed",
+                        "shed_rate", "served_rate", "p50_ms", "p95_ms",
+                        "p99_ms", "queue_depth_max", "cache_hits",
+                        "rate_multiple"):
+                assert key in row, f"{row.get('name')} missing {key}"
+        # every row's numbers came from the telemetry plane, so the
+        # accounting identity holds at any scale
+        for row in record["rows"]:
+            assert row["served"] + row["shed"] == row["offered"]
+            assert row["latency_count"] == row["served"]
+        # sub-knee never sheds, even at toy scale
+        below = next(r for r in record["rows"] if r["name"] == "quotes@0.25x")
+        assert below["shed"] == 0
+
+    def test_loadgen_rejects_bad_specs(self):
+        sys.path.insert(0, str(BENCH_DIR))
+        try:
+            import loadgen
+        finally:
+            sys.path.remove(str(BENCH_DIR))
+
+        with pytest.raises(ValueError):
+            loadgen.RunSpec(name="bad", mix="nope")
+        with pytest.raises(ValueError):
+            loadgen.RunSpec(name="bad", rate=0.0)
+        with pytest.raises(ValueError):
+            loadgen.build_request_pool("nope", [])

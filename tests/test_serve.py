@@ -73,7 +73,11 @@ class TestBatcherParity:
         layers = list(wl.portfolio)
         with PricingService(wl.yet) as svc:
             quotes = svc.quote_many(layers)
-            assert svc.stats.batches == 1, "all requests must share one sweep"
+            # scraped off the public telemetry plane (stats attribute
+            # access still works but is the deprecated surface)
+            metrics = svc.telemetry.snapshot()["metrics"]
+            assert metrics["serve.batches"] == 1, \
+                "all requests must share one sweep"
             for layer, q in zip(layers, quotes):
                 losses = direct_layer_pricing(layer, wl.yet)
                 np.testing.assert_allclose(q.expected_loss, losses.mean(),
@@ -219,8 +223,12 @@ class TestCache:
         with PricingService(tiny_workload.yet) as svc:
             first = svc.quote(base)
             again = svc.quote(twin)
-        assert svc.stats.cache_hits == 1
-        assert svc.stats.batches == 1, "the hit must not trigger a sweep"
+        # telemetry is the scrape surface; cache bytes ride along
+        metrics = svc.telemetry.snapshot()["metrics"]
+        assert metrics["serve.cache.hits"] == 1
+        assert metrics["serve.batches"] == 1, "the hit must not trigger a sweep"
+        assert metrics["serve.cache.hit_bytes"] > 0
+        assert svc.stats.cache_hits == 1        # legacy view stays coherent
         assert again.premium == first.premium
         # latency fields are re-stamped per request, not served stale
         assert again.latency_seconds != first.latency_seconds
@@ -339,7 +347,11 @@ class TestAdmission:
                 except AdmissionError:
                     shed += 1
         assert shed > 0
-        assert svc.stats.shed == shed
+        metrics = svc.telemetry.snapshot()["metrics"]
+        assert metrics["serve.shed"] == shed
+        # every shed also left a structured event with its reason
+        shed_events = svc.telemetry.events.tail(kind="serve.shed")
+        assert shed_events and "reason" in shed_events[-1].fields
         svc.drain()
         svc.close()
 

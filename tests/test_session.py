@@ -365,6 +365,12 @@ class TestStagedPayload:
         # and a repeat aggregate still re-ships nothing
         session.aggregate(engine="multicore")
         assert session.payload_ships == 1
+        # one scrape of the session's plane sees the whole stack: the
+        # ship counter, the serve counters, and the session counters
+        metrics = session.telemetry.snapshot()["metrics"]
+        assert metrics["pool.payload_ships"] == 1
+        assert metrics["serve.requests"] >= 8
+        assert metrics["session.aggregates"] == 2
 
     @needs_shm
     def test_run_all_ships_do_not_grow_across_the_sweep(
